@@ -1,0 +1,147 @@
+// Shopping cart example: atomic multi-partition writes and last-writer-wins
+// convergence. A cart and the inventory live on different partitions in
+// different DCs; checkout updates both in one transaction, and concurrent
+// conflicting updates from two continents converge to one winner on every
+// replica (§II-B conflict resolution).
+//
+//	go run ./examples/cart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strconv"
+	"time"
+
+	"github.com/paris-kv/paris"
+)
+
+const (
+	cartKey      = "cart:order-42"
+	inventoryKey = "inventory:widget"
+	auditKey     = "audit:order-42"
+)
+
+func main() {
+	cluster, err := paris.NewCluster(paris.Config{
+		NumDCs:            3,
+		NumPartitions:     9,
+		ReplicationFactor: 2,
+		LatencyScale:      0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = cluster.Close() }()
+	ctx := context.Background()
+
+	fmt.Printf("key placement: cart→partition %d, inventory→partition %d, audit→partition %d\n",
+		cluster.PartitionOf(cartKey), cluster.PartitionOf(inventoryKey), cluster.PartitionOf(auditKey))
+
+	// Seed the inventory from DC 0.
+	seed, err := cluster.NewSession(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer seed.Close()
+	ct, err := seed.Put(ctx, map[string][]byte{inventoryKey: []byte("100")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !cluster.WaitForUST(ct, 5*time.Second) {
+		log.Fatal("UST stalled")
+	}
+
+	// Checkout from DC 1: read inventory, write cart + inventory + audit
+	// atomically. The three keys live on different partitions — partial
+	// replication means some are served by remote DCs — yet commit is
+	// all-or-nothing and reads never block.
+	shopper, err := cluster.NewSession(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer shopper.Close()
+	ct, err = shopper.Update(ctx, func(tx *paris.Tx) error {
+		raw, ok, err := tx.ReadOne(ctx, inventoryKey)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("inventory not visible")
+		}
+		stock, err := strconv.Atoi(string(raw))
+		if err != nil {
+			return err
+		}
+		if stock < 3 {
+			return fmt.Errorf("out of stock")
+		}
+		if err := tx.Write(cartKey, []byte("3 widgets")); err != nil {
+			return err
+		}
+		if err := tx.Write(inventoryKey, []byte(strconv.Itoa(stock-3))); err != nil {
+			return err
+		}
+		return tx.Write(auditKey, []byte("checkout from DC 1"))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkout committed at %v\n", ct)
+
+	// Every DC observes the three keys atomically.
+	if !cluster.WaitForUST(ct, 5*time.Second) {
+		log.Fatal("UST stalled")
+	}
+	for dc := paris.DCID(0); dc < 3; dc++ {
+		s, err := cluster.NewSession(dc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vals, err := s.Get(ctx, cartKey, inventoryKey, auditKey)
+		s.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("DC %d sees cart=%q inventory=%q audit=%q\n",
+			dc, vals[cartKey], vals[inventoryKey], vals[auditKey])
+	}
+
+	// Concurrent conflicting writes from two DCs: last-writer-wins picks a
+	// single winner; all replicas converge.
+	us, _ := cluster.NewSession(0)
+	eu, _ := cluster.NewSession(2)
+	defer us.Close()
+	defer eu.Close()
+	ct1, err := us.Put(ctx, map[string][]byte{cartKey: []byte("US edit: 5 widgets")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ct2, err := eu.Put(ctx, map[string][]byte{cartKey: []byte("EU edit: 1 widget")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := ct1
+	if ct2 > last {
+		last = ct2
+	}
+	if !cluster.WaitForUST(last, 5*time.Second) {
+		log.Fatal("UST stalled")
+	}
+	var winner string
+	for dc := paris.DCID(0); dc < 3; dc++ {
+		s, _ := cluster.NewSession(dc)
+		vals, err := s.Get(ctx, cartKey)
+		s.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if winner == "" {
+			winner = string(vals[cartKey])
+		} else if winner != string(vals[cartKey]) {
+			log.Fatalf("replicas diverged: %q vs %q", winner, vals[cartKey])
+		}
+	}
+	fmt.Printf("conflicting edits converged everywhere to: %q\n", winner)
+}

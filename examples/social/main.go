@@ -1,0 +1,175 @@
+// Social network example: the read-heavy, causality-sensitive workload that
+// motivates TCC (§I). Users post, reply and read timelines across data
+// centers. Causal consistency guarantees a reply is never visible without
+// the post it answers — the classic anomaly of eventually consistent stores —
+// while non-blocking reads keep timeline loads fast.
+//
+//	go run ./examples/social
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/paris-kv/paris"
+)
+
+// The data model, spread across partitions by key hash:
+//
+//	post:<user>:<n>   one post's text
+//	count:<user>      number of posts by user
+//	reply:<user>:<n>  a reply attached to post n of user
+type socialApp struct {
+	cluster *paris.Cluster
+}
+
+// post writes the post text and bumps the author's counter in one atomic
+// transaction: readers see both or neither.
+func (a *socialApp) post(ctx context.Context, s *paris.Session, user, text string) (int, error) {
+	n := 0
+	_, err := s.Update(ctx, func(tx *paris.Tx) error {
+		raw, _, err := tx.ReadOne(ctx, "count:"+user)
+		if err != nil {
+			return err
+		}
+		if len(raw) > 0 {
+			if n, err = strconv.Atoi(string(raw)); err != nil {
+				return err
+			}
+		}
+		if err := tx.Write(fmt.Sprintf("post:%s:%d", user, n), []byte(text)); err != nil {
+			return err
+		}
+		return tx.Write("count:"+user, []byte(strconv.Itoa(n+1)))
+	})
+	return n, err
+}
+
+// reply reads the target post (creating a causal dependency) and writes the
+// reply: any snapshot containing the reply contains the post.
+func (a *socialApp) reply(ctx context.Context, s *paris.Session, user string, postNo int, replyText string) error {
+	_, err := s.Update(ctx, func(tx *paris.Tx) error {
+		postKey := fmt.Sprintf("post:%s:%d", user, postNo)
+		raw, ok, err := tx.ReadOne(ctx, postKey)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("post %s not visible yet", postKey)
+		}
+		_ = raw // the read established post → reply causality
+		return tx.Write(fmt.Sprintf("reply:%s:%d", user, postNo), []byte(replyText))
+	})
+	return err
+}
+
+// timeline reads a user's posts and replies in one causal snapshot.
+func (a *socialApp) timeline(ctx context.Context, s *paris.Session, user string) ([]string, error) {
+	var lines []string
+	err := s.View(ctx, func(tx *paris.Tx) error {
+		raw, _, err := tx.ReadOne(ctx, "count:"+user)
+		if err != nil {
+			return err
+		}
+		n := 0
+		if len(raw) > 0 {
+			n, _ = strconv.Atoi(string(raw))
+		}
+		keys := make([]string, 0, 2*n)
+		for i := 0; i < n; i++ {
+			keys = append(keys, fmt.Sprintf("post:%s:%d", user, i),
+				fmt.Sprintf("reply:%s:%d", user, i))
+		}
+		if len(keys) == 0 {
+			return nil
+		}
+		vals, err := tx.Read(ctx, keys...)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if p, ok := vals[fmt.Sprintf("post:%s:%d", user, i)]; ok {
+				lines = append(lines, fmt.Sprintf("%s: %s", user, p))
+			}
+			if r, ok := vals[fmt.Sprintf("reply:%s:%d", user, i)]; ok {
+				lines = append(lines, fmt.Sprintf("  ↳ %s", r))
+				// The causal snapshot guarantee: a visible reply implies a
+				// visible post.
+				if _, ok := vals[fmt.Sprintf("post:%s:%d", user, i)]; !ok {
+					return fmt.Errorf("CAUSALITY VIOLATION: orphan reply on post %d", i)
+				}
+			}
+		}
+		return nil
+	})
+	return lines, err
+}
+
+func main() {
+	cluster, err := paris.NewCluster(paris.Config{
+		NumDCs:            3,
+		NumPartitions:     9,
+		ReplicationFactor: 2,
+		LatencyScale:      0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = cluster.Close() }()
+	app := &socialApp{cluster: cluster}
+	ctx := context.Background()
+
+	alice, err := cluster.NewSession(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alice.Close()
+	bob, err := cluster.NewSession(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bob.Close()
+
+	// Alice posts from DC 0.
+	postNo, err := app.post(ctx, alice, "alice", "PaRiS reproduces! non-blocking reads are real")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice posted #%d\n", postNo)
+
+	// Bob (DC 1) waits until he can see it, then replies: post → reply.
+	for {
+		if err := app.reply(ctx, bob, "alice", postNo, "congrats — ship it"); err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Println("bob replied from DC 1")
+
+	// Readers in every DC see a causally consistent timeline: never a reply
+	// without its post.
+	for dc := paris.DCID(0); dc < 3; dc++ {
+		reader, err := cluster.NewSession(dc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		var lines []string
+		for {
+			lines, err = app.timeline(ctx, reader, "alice")
+			if err != nil {
+				log.Fatal(err) // a causality violation would surface here
+			}
+			if len(lines) >= 2 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		reader.Close()
+		fmt.Printf("timeline from DC %d:\n  %s\n", dc, strings.Join(lines, "\n  "))
+	}
+}

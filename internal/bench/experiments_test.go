@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/paris-kv/paris/internal/workload"
+)
+
+// quickOpts returns experiment options small enough for CI but large enough
+// to exercise every code path of the drivers.
+func quickOpts(out *bytes.Buffer) Options {
+	return Options{
+		LatencyScale:      0.01,
+		Duration:          200 * time.Millisecond,
+		Warmup:            50 * time.Millisecond,
+		Threads:           []int{1, 2},
+		SaturationThreads: 2,
+		KeysPerPartition:  50,
+		Out:               out,
+	}
+}
+
+func TestFig1Driver(t *testing.T) {
+	var out bytes.Buffer
+	parisCurve, bprCurve, err := Fig1(quickOpts(&out), workload.ReadHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parisCurve) != 2 || len(bprCurve) != 2 {
+		t.Fatalf("curves have %d/%d points", len(parisCurve), len(bprCurve))
+	}
+	for _, r := range parisCurve {
+		if r.ThroughputTx <= 0 {
+			t.Fatal("zero throughput point")
+		}
+	}
+	if !strings.Contains(out.String(), "Fig1") {
+		t.Fatal("driver printed no table")
+	}
+	// The headline shape: PaRiS latency below BPR at equal load. Timing
+	// shapes are not meaningful under the race detector's slowdown.
+	if !raceEnabled && parisCurve[0].Latency.Mean() >= bprCurve[0].Latency.Mean() {
+		t.Fatalf("PaRiS %v not faster than BPR %v",
+			parisCurve[0].Latency.Mean(), bprCurve[0].Latency.Mean())
+	}
+}
+
+func TestBlockingTimeDriver(t *testing.T) {
+	var out bytes.Buffer
+	readHeavy, writeHeavy, err := BlockingTime(quickOpts(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readHeavy <= 0 || writeHeavy <= 0 {
+		t.Fatalf("blocking times %v / %v not measured", readHeavy, writeHeavy)
+	}
+}
+
+func TestFig2aDriver(t *testing.T) {
+	var out bytes.Buffer
+	points, err := Fig2a(quickOpts(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 { // {3,5} DCs × {6,12,18} machines
+		t.Fatalf("%d scale points", len(points))
+	}
+	for _, p := range points {
+		if p.Result.ThroughputTx <= 0 {
+			t.Fatalf("zero throughput at dcs=%d machines=%d", p.DCs, p.MachinesPerDC)
+		}
+	}
+}
+
+func TestFig2bDriver(t *testing.T) {
+	var out bytes.Buffer
+	points, err := Fig2b(quickOpts(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 { // {6,12} machines × {3,5,10} DCs
+		t.Fatalf("%d scale points", len(points))
+	}
+}
+
+func TestFig3Driver(t *testing.T) {
+	var out bytes.Buffer
+	points, err := Fig3(quickOpts(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("%d locality points", len(points))
+	}
+	if points[0].LocalRatio != 1.0 || points[3].LocalRatio != 0.5 {
+		t.Fatalf("locality sweep order wrong: %+v", points)
+	}
+	// Shape: fully local latency is lower than 50:50 latency (remote
+	// round trips dominate). Not meaningful under the race detector.
+	if !raceEnabled && points[0].Result.Latency.Mean() >= points[3].Result.Latency.Mean() {
+		t.Fatalf("local latency %v not below 50:50 latency %v",
+			points[0].Result.Latency.Mean(), points[3].Result.Latency.Mean())
+	}
+}
+
+func TestFig4Driver(t *testing.T) {
+	if raceEnabled {
+		// Under the race detector the short measurement window may not
+		// produce any stabilized (hence visible) updates at all.
+		t.Skip("visibility sampling needs real-time pacing; skipped under -race")
+	}
+	var out bytes.Buffer
+	parisCDF, bprCDF, err := Fig4(quickOpts(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parisCDF) == 0 || len(bprCDF) == 0 {
+		t.Fatal("empty visibility CDFs")
+	}
+	if parisCDF[len(parisCDF)-1].Fraction != 1 || bprCDF[len(bprCDF)-1].Fraction != 1 {
+		t.Fatal("CDFs do not reach 1")
+	}
+}

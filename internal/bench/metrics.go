@@ -1,0 +1,217 @@
+// Package bench is the measurement harness that regenerates the paper's
+// evaluation (§V): closed-loop clients, throughput/latency load curves,
+// scalability sweeps, locality sweeps, and update-visibility CDFs.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram is a log-bucketed latency histogram (geometric buckets growing
+// ~10% per step from 1µs to ~17min). It records durations with bounded
+// memory and answers means and percentiles; not safe for concurrent use —
+// workers keep private histograms that are merged afterwards.
+type Histogram struct {
+	counts []uint64
+	count  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+const (
+	histBase    = float64(time.Microsecond)
+	histGrowth  = 1.1
+	histBuckets = 220 // 1µs · 1.1^220 ≈ 1.3e9µs ≈ 21min
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, histBuckets), min: math.MaxInt64}
+}
+
+func bucketOf(d time.Duration) int {
+	if d < time.Microsecond {
+		return 0
+	}
+	b := int(math.Log(float64(d)/histBase) / math.Log(histGrowth))
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketValue is the representative (upper-bound) latency of bucket b.
+func bucketValue(b int) time.Duration {
+	return time.Duration(histBase * math.Pow(histGrowth, float64(b+1)))
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.count > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the exact arithmetic mean.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min and Max return observed extremes.
+func (h *Histogram) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Percentile returns the latency at quantile q in [0,1] (bucket upper
+// bound, ≤10% overestimate by construction).
+func (h *Histogram) Percentile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return bucketValue(i)
+		}
+	}
+	return h.max
+}
+
+// CDFPoint is one point of a cumulative distribution.
+type CDFPoint struct {
+	Value    time.Duration
+	Fraction float64
+}
+
+// CDF returns the cumulative distribution over occupied buckets.
+func (h *Histogram) CDF() []CDFPoint {
+	if h.count == 0 {
+		return nil
+	}
+	var out []CDFPoint
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, CDFPoint{Value: bucketValue(i), Fraction: float64(cum) / float64(h.count)})
+	}
+	return out
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Percentile(0.50), h.Percentile(0.95), h.Percentile(0.99), h.Max())
+}
+
+// DurationsCDF builds a CDF directly from raw samples (used for
+// visibility latencies collected from servers).
+func DurationsCDF(samples []time.Duration) []CDFPoint {
+	if len(samples) == 0 {
+		return nil
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Emit at most ~100 points.
+	step := len(sorted) / 100
+	if step == 0 {
+		step = 1
+	}
+	var out []CDFPoint
+	for i := step - 1; i < len(sorted); i += step {
+		out = append(out, CDFPoint{
+			Value:    sorted[i],
+			Fraction: float64(i+1) / float64(len(sorted)),
+		})
+	}
+	if last := out[len(out)-1]; last.Fraction < 1 {
+		out = append(out, CDFPoint{Value: sorted[len(sorted)-1], Fraction: 1})
+	}
+	return out
+}
+
+// PercentileOf returns the q-quantile of raw samples.
+func PercentileOf(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// MeanOf returns the arithmetic mean of raw samples.
+func MeanOf(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	return sum / time.Duration(len(samples))
+}

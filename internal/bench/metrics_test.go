@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram returns non-zero statistics")
+	}
+	if h.CDF() != nil {
+		t.Fatal("empty histogram has CDF points")
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+	} {
+		h.Record(d)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Mean() != 2*time.Millisecond {
+		t.Fatalf("mean %v, want 2ms exactly (sum-based)", h.Mean())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 3*time.Millisecond {
+		t.Fatalf("min/max %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	// Percentiles come from geometric buckets with 10% growth: the answer
+	// must be within ~10% above the true value.
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.95, 950 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+	}
+	for _, c := range cases {
+		got := h.Percentile(c.q)
+		if got < c.want || got > c.want*125/100 {
+			t.Errorf("p%.0f = %v, want within [%v, %v]", c.q*100, got, c.want, c.want*125/100)
+		}
+	}
+}
+
+func TestHistogramClampsOutliers(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-time.Second)   // negative clamps to zero
+	h.Record(48 * time.Hour) // beyond the last bucket
+	if h.Count() != 2 {
+		t.Fatal("outliers dropped")
+	}
+	if h.Percentile(1.0) <= 0 {
+		t.Fatal("max percentile broken by clamp")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 2 || a.Mean() != 2*time.Millisecond {
+		t.Fatalf("merge wrong: n=%d mean=%v", a.Count(), a.Mean())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 3*time.Millisecond {
+		t.Fatalf("merge min/max wrong: %v/%v", a.Min(), a.Max())
+	}
+	// Merging an empty histogram changes nothing.
+	a.Merge(NewHistogram())
+	if a.Count() != 2 {
+		t.Fatal("empty merge changed count")
+	}
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(rng.Intn(1e6)) * time.Microsecond)
+	}
+	cdf := h.CDF()
+	if len(cdf) == 0 {
+		t.Fatal("empty CDF")
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Fraction < cdf[i-1].Fraction || cdf[i].Value < cdf[i-1].Value {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if last := cdf[len(cdf)-1].Fraction; last != 1.0 {
+		t.Fatalf("CDF ends at %f", last)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	if h.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestDurationsCDF(t *testing.T) {
+	if DurationsCDF(nil) != nil {
+		t.Fatal("nil samples produced CDF")
+	}
+	samples := []time.Duration{3 * time.Millisecond, time.Millisecond, 2 * time.Millisecond}
+	cdf := DurationsCDF(samples)
+	if len(cdf) != 3 {
+		t.Fatalf("CDF has %d points", len(cdf))
+	}
+	if cdf[0].Value != time.Millisecond || cdf[len(cdf)-1].Fraction != 1.0 {
+		t.Fatalf("CDF wrong: %+v", cdf)
+	}
+	// Large sample sets get decimated to ~100 points.
+	big := make([]time.Duration, 5000)
+	for i := range big {
+		big[i] = time.Duration(i) * time.Microsecond
+	}
+	cdf = DurationsCDF(big)
+	if len(cdf) > 110 {
+		t.Fatalf("CDF not decimated: %d points", len(cdf))
+	}
+}
+
+func TestPercentileOfAndMeanOf(t *testing.T) {
+	if PercentileOf(nil, 0.5) != 0 || MeanOf(nil) != 0 {
+		t.Fatal("nil samples give non-zero stats")
+	}
+	samples := []time.Duration{10, 20, 30, 40, 50}
+	if got := PercentileOf(samples, 0.5); got != 30 {
+		t.Fatalf("median %v", got)
+	}
+	if got := MeanOf(samples); got != 30 {
+		t.Fatalf("mean %v", got)
+	}
+	// PercentileOf must not mutate its input.
+	unsorted := []time.Duration{50, 10, 30}
+	_ = PercentileOf(unsorted, 0.5)
+	if unsorted[0] != 50 {
+		t.Fatal("PercentileOf sorted the caller's slice")
+	}
+}
+
+func TestBucketValueCoversBucketOf(t *testing.T) {
+	// Invariant: the representative value of a duration's bucket is ≥ the
+	// duration (percentiles never underestimate).
+	for _, d := range []time.Duration{
+		time.Microsecond, 10 * time.Microsecond, time.Millisecond,
+		17 * time.Millisecond, time.Second, time.Minute,
+	} {
+		if bv := bucketValue(bucketOf(d)); bv < d {
+			t.Errorf("bucketValue(bucketOf(%v)) = %v < %v", d, bv, d)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active: its ~10x slowdown
+// makes timing-shape assertions (who is faster than whom) meaningless, so
+// those are skipped while the structural assertions still run.
+const raceEnabled = true

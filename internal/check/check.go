@@ -1,0 +1,318 @@
+// Package check is an offline Transactional Causal Consistency validator.
+// It replays a recorded history of committed transactions and verifies the
+// guarantees of §II-B against it:
+//
+//  1. session monotonicity — a session's snapshots never regress;
+//  2. read-your-writes — a session observes its own prior committed writes
+//     (or newer versions);
+//  3. atomic (non-fractured) reads — when a transaction reads two keys
+//     written together by another transaction, it sees both or neither of
+//     that transaction's versions, never a mix with older versions;
+//  4. causal snapshots — if a read observes version Y and X → Y (session
+//     order or read-from, transitively), no key is observed at a version
+//     older than what X wrote.
+//
+// Test suites record histories from live clusters; the ablation experiments
+// use the checker to demonstrate that removing the client cache breaks
+// read-your-writes exactly as §III-B predicts.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// ReadObs is one observed key version inside a transaction.
+type ReadObs struct {
+	Key string
+	// Writer identifies the transaction that produced the version (zero if
+	// the key was unwritten/invisible).
+	Writer wire.TxID
+	// UT is the version's timestamp (zero if unwritten).
+	UT hlc.Timestamp
+	// Found reports whether any version was visible.
+	Found bool
+}
+
+// Tx is one committed transaction in a history.
+type Tx struct {
+	// Session identifies the client session; ops within a session are
+	// ordered by Seq.
+	Session int
+	Seq     int
+	// ID is the transaction id assigned by the coordinator (zero for
+	// read-only transactions, which never receive one on commit).
+	ID wire.TxID
+	// Snapshot is the snapshot timestamp the transaction ran against.
+	Snapshot hlc.Timestamp
+	// CommitTS is the commit timestamp (zero for read-only transactions).
+	CommitTS hlc.Timestamp
+	// Reads are the observed versions, Writes the keys written.
+	Reads  []ReadObs
+	Writes []string
+}
+
+// Violation describes one consistency violation found in a history.
+type Violation struct {
+	Kind    string
+	Session int
+	Seq     int
+	Detail  string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: session %d tx %d: %s", v.Kind, v.Session, v.Seq, v.Detail)
+}
+
+// Violation kinds.
+const (
+	KindMonotonicity   = "snapshot-monotonicity"
+	KindReadYourWrites = "read-your-writes"
+	KindAtomicity      = "atomic-reads"
+	KindCausality      = "causal-snapshot"
+)
+
+// History accumulates transactions for validation. It is not safe for
+// concurrent use; record per-session histories and merge, or guard
+// externally.
+type History struct {
+	txs []Tx
+}
+
+// Add appends a committed transaction.
+func (h *History) Add(tx Tx) { h.txs = append(h.txs, tx) }
+
+// Merge appends all transactions of other.
+func (h *History) Merge(other *History) { h.txs = append(h.txs, other.txs...) }
+
+// Len returns the number of recorded transactions.
+func (h *History) Len() int { return len(h.txs) }
+
+// Check validates the history and returns all violations found (nil when
+// consistent).
+func (h *History) Check() []Violation {
+	var out []Violation
+	out = append(out, h.checkSessions()...)
+	out = append(out, h.checkAtomicity()...)
+	out = append(out, h.checkCausality()...)
+	return out
+}
+
+// bySession returns the transactions grouped by session, ordered by Seq.
+func (h *History) bySession() map[int][]Tx {
+	sessions := make(map[int][]Tx)
+	for _, tx := range h.txs {
+		sessions[tx.Session] = append(sessions[tx.Session], tx)
+	}
+	for s := range sessions {
+		txs := sessions[s]
+		sort.Slice(txs, func(i, j int) bool { return txs[i].Seq < txs[j].Seq })
+	}
+	return sessions
+}
+
+// writerOf indexes committed write transactions by id.
+func (h *History) writerOf() map[wire.TxID]Tx {
+	idx := make(map[wire.TxID]Tx, len(h.txs))
+	for _, tx := range h.txs {
+		if tx.ID != 0 && len(tx.Writes) > 0 {
+			idx[tx.ID] = tx
+		}
+	}
+	return idx
+}
+
+// checkSessions verifies monotonicity and read-your-writes per session.
+func (h *History) checkSessions() []Violation {
+	var out []Violation
+	for _, txs := range h.bySession() {
+		var prevSnap hlc.Timestamp
+		lastWrite := make(map[string]hlc.Timestamp) // key → commit ts of own last write
+		for _, tx := range txs {
+			if tx.Snapshot < prevSnap {
+				out = append(out, Violation{
+					Kind: KindMonotonicity, Session: tx.Session, Seq: tx.Seq,
+					Detail: fmt.Sprintf("snapshot %v after %v", tx.Snapshot, prevSnap),
+				})
+			}
+			prevSnap = tx.Snapshot
+
+			for _, r := range tx.Reads {
+				own, wrote := lastWrite[r.Key]
+				if !wrote {
+					continue
+				}
+				if !r.Found || r.UT < own {
+					out = append(out, Violation{
+						Kind: KindReadYourWrites, Session: tx.Session, Seq: tx.Seq,
+						Detail: fmt.Sprintf("key %q read at %v but own write committed at %v",
+							r.Key, r.UT, own),
+					})
+				}
+			}
+			if tx.CommitTS != 0 {
+				for _, k := range tx.Writes {
+					lastWrite[k] = tx.CommitTS
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkAtomicity verifies that no transaction observes a fractured write:
+// reading writer W's version for one key but an older version for another
+// key W also wrote and the reader also read.
+func (h *History) checkAtomicity() []Violation {
+	writers := h.writerOf()
+	var out []Violation
+	for _, tx := range h.txs {
+		// Index this transaction's observations.
+		obs := make(map[string]ReadObs, len(tx.Reads))
+		for _, r := range tx.Reads {
+			obs[r.Key] = r
+		}
+		for _, r := range tx.Reads {
+			if !r.Found || r.Writer == 0 {
+				continue
+			}
+			w, ok := writers[r.Writer]
+			if !ok {
+				continue // writer not recorded (e.g. outside the history)
+			}
+			for _, wk := range w.Writes {
+				other, read := obs[wk]
+				if !read || wk == r.Key {
+					continue
+				}
+				// The reader read wk too; it must see w's version (same
+				// commit ts) or anything newer — never older.
+				if !other.Found || other.UT < w.CommitTS {
+					out = append(out, Violation{
+						Kind: KindAtomicity, Session: tx.Session, Seq: tx.Seq,
+						Detail: fmt.Sprintf("saw tx %v for %q(@%v) but %q at %v < %v",
+							r.Writer, r.Key, r.UT, wk, other.UT, w.CommitTS),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkCausality verifies causal snapshots: for each observed version Y,
+// every transaction in Y's causal past that wrote a key the reader also read
+// must be reflected at least at its commit timestamp.
+//
+// The causal past is computed transitively over (i) session order among
+// write transactions and (ii) read-from edges recorded in the history.
+func (h *History) checkCausality() []Violation {
+	writers := h.writerOf()
+	deps := h.causalPasts(writers)
+
+	var out []Violation
+	for _, tx := range h.txs {
+		obs := make(map[string]ReadObs, len(tx.Reads))
+		for _, r := range tx.Reads {
+			obs[r.Key] = r
+		}
+		for _, r := range tx.Reads {
+			if !r.Found || r.Writer == 0 {
+				continue
+			}
+			for depID := range deps[r.Writer] {
+				dep, ok := writers[depID]
+				if !ok {
+					continue
+				}
+				for _, dk := range dep.Writes {
+					other, read := obs[dk]
+					if !read {
+						continue
+					}
+					if !other.Found || other.UT < dep.CommitTS {
+						out = append(out, Violation{
+							Kind: KindCausality, Session: tx.Session, Seq: tx.Seq,
+							Detail: fmt.Sprintf("saw %v (dep of observed %v) missing: key %q at %v < %v",
+								depID, r.Writer, dk, other.UT, dep.CommitTS),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// causalPasts returns, for every write transaction, the set of write
+// transactions in its causal past (excluding itself).
+func (h *History) causalPasts(writers map[wire.TxID]Tx) map[wire.TxID]map[wire.TxID]bool {
+	// Direct dependencies: per session order and read-from.
+	direct := make(map[wire.TxID][]wire.TxID)
+	for _, txs := range h.bySession() {
+		var (
+			prevWrites []wire.TxID
+			observed   []wire.TxID
+		)
+		for _, tx := range txs {
+			for _, r := range tx.Reads {
+				if r.Found && r.Writer != 0 {
+					observed = append(observed, r.Writer)
+				}
+			}
+			if tx.ID != 0 && len(tx.Writes) > 0 {
+				// This write depends on everything the session wrote or
+				// observed before it.
+				deps := make([]wire.TxID, 0, len(prevWrites)+len(observed))
+				deps = append(deps, prevWrites...)
+				deps = append(deps, observed...)
+				direct[tx.ID] = deps
+				prevWrites = append(prevWrites, tx.ID)
+			}
+		}
+	}
+
+	// Transitive closure by DFS with memoization.
+	closure := make(map[wire.TxID]map[wire.TxID]bool, len(direct))
+	var visit func(id wire.TxID) map[wire.TxID]bool
+	visiting := make(map[wire.TxID]bool)
+	visit = func(id wire.TxID) map[wire.TxID]bool {
+		if c, ok := closure[id]; ok {
+			return c
+		}
+		if visiting[id] {
+			return nil // cycle guard; well-formed histories are acyclic
+		}
+		visiting[id] = true
+		set := make(map[wire.TxID]bool)
+		for _, dep := range direct[id] {
+			if dep == id {
+				continue
+			}
+			set[dep] = true
+			for d := range visit(dep) {
+				if d != id {
+					set[d] = true
+				}
+			}
+		}
+		visiting[id] = false
+		closure[id] = set
+		return set
+	}
+	for id := range direct {
+		visit(id)
+	}
+	// Transactions that only appear as writers (read-from targets recorded
+	// by other sessions) have empty pasts by construction.
+	for id := range writers {
+		if _, ok := closure[id]; !ok {
+			closure[id] = map[wire.TxID]bool{}
+		}
+	}
+	return closure
+}

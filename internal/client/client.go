@@ -1,0 +1,364 @@
+// Package client implements the PaRiS client protocol (Algorithm 1): the
+// session state (ustc, hwtc), the private write cache WCc that preserves
+// read-your-writes on top of the slightly stale stable snapshot, and the
+// per-transaction write-set and read-set.
+//
+// A Client is a single session: one transaction at a time, one operation at
+// a time (§II-C: "c does not issue the next operation until it receives the
+// reply to the current one"). It is not safe for concurrent use; run one
+// Client per goroutine, as the benchmark harness does.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/transport"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// Errors returned by the client API.
+var (
+	// ErrNoTransaction reports an operation outside a transaction.
+	ErrNoTransaction = errors.New("client: no transaction in progress")
+	// ErrInTransaction reports a Start while a transaction is running.
+	ErrInTransaction = errors.New("client: transaction already in progress")
+)
+
+// Mode mirrors the server's visibility protocol; it changes how the client
+// maintains its session timestamp and whether the write cache is needed.
+type Mode uint8
+
+const (
+	// ModeNonBlocking is PaRiS: session freshness via UST + write cache.
+	ModeNonBlocking Mode = iota + 1
+	// ModeBlocking is BPR: session freshness via observed timestamps;
+	// the server blocks reads instead of the client caching writes.
+	ModeBlocking
+)
+
+// Config parameterizes a client session.
+type Config struct {
+	// ID is the client's transport identity. Required.
+	ID topology.NodeID
+	// Coordinator is the server that will coordinate every transaction of
+	// this session (clients attach to one partition in their local DC).
+	Coordinator topology.NodeID
+	// Mode must match the cluster's server mode. Default ModeNonBlocking.
+	Mode Mode
+	// DisableCache turns the private write cache off. Only meaningful in
+	// ModeNonBlocking, where it deliberately re-introduces the
+	// read-your-writes violations the cache exists to prevent (used by the
+	// ablation experiments; never disable it in production).
+	DisableCache bool
+	// CallTimeout bounds each client-coordinator round trip. Default 60s.
+	CallTimeout time.Duration
+	// CacheBypass marks keys whose value is derived from the whole version
+	// chain by a custom conflict resolver (counters, sets). Reads of such
+	// keys always go to the server: the write-set/read-set/cache hold single
+	// operations, not merged values, so returning them would be wrong. nil
+	// bypasses nothing.
+	CacheBypass func(key string) bool
+}
+
+// Stats counts client-side protocol events.
+type Stats struct {
+	TxStarted    uint64
+	TxCommitted  uint64 // update transactions (non-empty write-set)
+	TxReadOnly   uint64
+	KeysRead     uint64
+	KeysFromWS   uint64 // reads answered by the write-set
+	KeysFromRS   uint64 // reads answered by the read-set (repeatable reads)
+	KeysFromWC   uint64 // reads answered by the write cache
+	KeysFromSrvr uint64 // reads answered by the data store
+	CachePruned  uint64 // cache entries pruned by UST advance
+	CachePeak    int    // high-water mark of cache size
+}
+
+// Client is one client session.
+type Client struct {
+	cfg  Config
+	peer *transport.Peer
+
+	ust hlc.Timestamp // ustc: highest stable snapshot observed
+	hwt hlc.Timestamp // hwtc: commit time of the last update transaction
+
+	cache map[string]wire.Item // WCc: own writes not yet in the stable snapshot
+
+	inTx     bool
+	txID     wire.TxID
+	snapshot hlc.Timestamp
+	ws       map[string][]byte    // WSc
+	rs       map[string]wire.Item // RSc
+
+	stats Stats
+}
+
+// New builds a client session. Register its Peer on the network and attach
+// the endpoint before use:
+//
+//	c := client.New(cfg)
+//	ep, _ := net.Register(cfg.ID, c.Peer())
+//	c.Peer().Attach(ep)
+func New(cfg Config) (*Client, error) {
+	if cfg.ID.Role != topology.RoleClient {
+		return nil, fmt.Errorf("client: id %v is not a client identity", cfg.ID)
+	}
+	if cfg.Coordinator.Role != topology.RoleServer {
+		return nil, fmt.Errorf("client: coordinator %v is not a server", cfg.Coordinator)
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeNonBlocking
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 60 * time.Second
+	}
+	c := &Client{
+		cfg:   cfg,
+		cache: make(map[string]wire.Item),
+	}
+	c.peer = transport.NewPeer(cfg.ID, clientHandler{})
+	return c, nil
+}
+
+// Peer returns the transport peer to register with a network.
+func (c *Client) Peer() *transport.Peer { return c.peer }
+
+// ID returns the session's node identity.
+func (c *Client) ID() topology.NodeID { return c.cfg.ID }
+
+// Coordinator returns the coordinating server's identity.
+func (c *Client) Coordinator() topology.NodeID { return c.cfg.Coordinator }
+
+// UST returns ustc, the freshest stable snapshot the session has observed.
+func (c *Client) UST() hlc.Timestamp { return c.ust }
+
+// HWT returns hwtc, the commit timestamp of the session's last update
+// transaction (zero if none).
+func (c *Client) HWT() hlc.Timestamp { return c.hwt }
+
+// Snapshot returns the running transaction's snapshot timestamp.
+func (c *Client) Snapshot() hlc.Timestamp { return c.snapshot }
+
+// CacheSize returns the number of entries in the private write cache.
+func (c *Client) CacheSize() int { return len(c.cache) }
+
+// TxID returns the running transaction's identifier (zero outside a
+// transaction or before the coordinator assigns one).
+func (c *Client) TxID() wire.TxID { return c.txID }
+
+// Observed returns the version metadata recorded in the read-set for key
+// during the running transaction; consistency-checking harnesses use it to
+// build verifiable histories.
+func (c *Client) Observed(key string) (wire.Item, bool) {
+	item, ok := c.rs[key]
+	return item, ok
+}
+
+// Stats returns a copy of the session counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// Close releases transport resources.
+func (c *Client) Close() { c.peer.Close() }
+
+// Start begins a transaction (Alg. 1 lines 1–7): it sends the session's
+// highest observed stable time so the coordinator assigns a snapshot at
+// least that fresh, then prunes the write cache of entries the new snapshot
+// already covers.
+func (c *Client) Start(ctx context.Context) error {
+	if c.inTx {
+		return ErrInTransaction
+	}
+	resp, err := c.call(ctx, wire.StartTxReq{ClientUST: c.ust})
+	if err != nil {
+		return err
+	}
+	m, ok := resp.(wire.StartTxResp)
+	if !ok {
+		return fmt.Errorf("client: unexpected start response %v", resp.Kind())
+	}
+	c.inTx = true
+	c.txID = m.TxID
+	c.snapshot = m.Snapshot
+	if m.Snapshot > c.ust {
+		c.ust = m.Snapshot
+	}
+	c.ws = make(map[string][]byte)
+	c.rs = make(map[string]wire.Item)
+	// Remove from WCc all items with commit timestamp up to ustc: they are
+	// inside the stable snapshot now and the store serves them.
+	for k, item := range c.cache {
+		if item.UT <= c.ust {
+			delete(c.cache, k)
+			c.stats.CachePruned++
+		}
+	}
+	c.stats.TxStarted++
+	return nil
+}
+
+// Read returns the values of keys visible to the transaction (Alg. 1 lines
+// 8–20). Keys with no visible version map to no entry. The write-set,
+// read-set and write cache are consulted first, in that order; remaining
+// keys are fetched from the coordinator in one parallel round.
+func (c *Client) Read(ctx context.Context, keys ...string) (map[string][]byte, error) {
+	if !c.inTx {
+		return nil, ErrNoTransaction
+	}
+	out := make(map[string][]byte, len(keys))
+	var remote []string
+	for _, k := range keys {
+		c.stats.KeysRead++
+		if c.cfg.CacheBypass != nil && c.cfg.CacheBypass(k) {
+			remote = append(remote, k)
+			continue
+		}
+		if v, ok := c.ws[k]; ok {
+			out[k] = v
+			c.stats.KeysFromWS++
+			continue
+		}
+		if item, ok := c.rs[k]; ok {
+			out[k] = item.Value
+			c.stats.KeysFromRS++
+			continue
+		}
+		if item, ok := c.cache[k]; ok && !c.cfg.DisableCache {
+			// The cached version is the session's own write, newer than
+			// anything in the stable snapshot: it must win or
+			// read-your-writes breaks.
+			out[k] = item.Value
+			c.rs[k] = item
+			c.stats.KeysFromWC++
+			continue
+		}
+		remote = append(remote, k)
+	}
+	if len(remote) == 0 {
+		return out, nil
+	}
+	resp, err := c.call(ctx, wire.ReadReq{TxID: c.txID, Keys: remote})
+	if err != nil {
+		return nil, err
+	}
+	m, ok := resp.(wire.ReadResp)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected read response %v", resp.Kind())
+	}
+	for _, item := range m.Items {
+		out[item.Key] = item.Value
+		c.rs[item.Key] = item
+		c.stats.KeysFromSrvr++
+	}
+	return out, nil
+}
+
+// ReadOne reads a single key; ok reports whether a version was visible.
+func (c *Client) ReadOne(ctx context.Context, key string) (value []byte, ok bool, err error) {
+	vals, err := c.Read(ctx, key)
+	if err != nil {
+		return nil, false, err
+	}
+	v, ok := vals[key]
+	return v, ok, nil
+}
+
+// Write buffers updates in the transaction's write-set (Alg. 1 lines 21–25).
+func (c *Client) Write(key string, value []byte) error {
+	if !c.inTx {
+		return ErrNoTransaction
+	}
+	c.ws[key] = value
+	return nil
+}
+
+// Commit finalizes the transaction (Alg. 1 lines 26–32). For update
+// transactions it returns the commit timestamp; read-only transactions
+// finish locally after releasing the coordinator's context.
+func (c *Client) Commit(ctx context.Context) (hlc.Timestamp, error) {
+	if !c.inTx {
+		return 0, ErrNoTransaction
+	}
+	if len(c.ws) == 0 {
+		_ = c.peer.Cast(c.cfg.Coordinator, wire.FinishTx{TxID: c.txID})
+		c.endTx()
+		c.stats.TxReadOnly++
+		return 0, nil
+	}
+
+	writes := make([]wire.KV, 0, len(c.ws))
+	for k, v := range c.ws {
+		writes = append(writes, wire.KV{Key: k, Value: v})
+	}
+	resp, err := c.call(ctx, wire.CommitReq{TxID: c.txID, HWT: c.hwt, Writes: writes})
+	if err != nil {
+		return 0, err
+	}
+	m, ok := resp.(wire.CommitResp)
+	if !ok {
+		return 0, fmt.Errorf("client: unexpected commit response %v", resp.Kind())
+	}
+
+	// hwtc ← ct; tag WSc entries with hwtc and move them to WCc.
+	c.hwt = m.CommitTS
+	if !c.cfg.DisableCache {
+		for k, v := range c.ws {
+			c.cache[k] = wire.Item{
+				Key:   k,
+				Value: v,
+				UT:    m.CommitTS,
+				TxID:  c.txID,
+				SrcDC: c.cfg.Coordinator.DC,
+			}
+		}
+		if len(c.cache) > c.stats.CachePeak {
+			c.stats.CachePeak = len(c.cache)
+		}
+	}
+	if c.cfg.Mode == ModeBlocking && m.CommitTS > c.ust {
+		// BPR tracks the highest observed timestamp instead of caching: the
+		// next snapshot covers this commit and the read will block until it
+		// is installed.
+		c.ust = m.CommitTS
+	}
+	c.endTx()
+	c.stats.TxCommitted++
+	return m.CommitTS, nil
+}
+
+// Abandon abandons the running transaction without committing its writes
+// and releases the coordinator's context.
+func (c *Client) Abandon() {
+	if !c.inTx {
+		return
+	}
+	_ = c.peer.Cast(c.cfg.Coordinator, wire.FinishTx{TxID: c.txID})
+	c.endTx()
+}
+
+func (c *Client) endTx() {
+	c.inTx = false
+	c.txID = 0
+	c.snapshot = 0
+	c.ws = nil
+	c.rs = nil
+}
+
+func (c *Client) call(ctx context.Context, req wire.Message) (wire.Message, error) {
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	return c.peer.Call(cctx, c.cfg.Coordinator, req)
+}
+
+// clientHandler rejects inbound requests: clients only originate traffic.
+type clientHandler struct{}
+
+func (clientHandler) HandleRequest(_ topology.NodeID, _ wire.Message, reply func(wire.Message)) {
+	reply(wire.ErrorResp{Msg: "clients do not serve requests"})
+}
+
+func (clientHandler) HandleCast(topology.NodeID, wire.Message) {}

@@ -1,0 +1,452 @@
+package client
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/transport"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// fakeCoordinator scripts coordinator behaviour for client unit tests.
+type fakeCoordinator struct {
+	mu       sync.Mutex
+	snapshot hlc.Timestamp
+	commitTS hlc.Timestamp
+	// store maps keys to items returned by reads.
+	store map[string]wire.Item
+	// log records requests for assertions.
+	starts   []wire.StartTxReq
+	reads    []wire.ReadReq
+	commits  []wire.CommitReq
+	finishes []wire.FinishTx
+	txSeq    uint64
+}
+
+func (f *fakeCoordinator) HandleRequest(_ topology.NodeID, req wire.Message, reply func(wire.Message)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch m := req.(type) {
+	case wire.StartTxReq:
+		f.starts = append(f.starts, m)
+		f.txSeq++
+		snap := f.snapshot
+		if m.ClientUST > snap {
+			snap = m.ClientUST
+		}
+		reply(wire.StartTxResp{TxID: wire.NewTxID(0, 0, f.txSeq), Snapshot: snap})
+	case wire.ReadReq:
+		f.reads = append(f.reads, m)
+		var items []wire.Item
+		for _, k := range m.Keys {
+			if item, ok := f.store[k]; ok {
+				items = append(items, item)
+			}
+		}
+		reply(wire.ReadResp{Items: items})
+	case wire.CommitReq:
+		f.commits = append(f.commits, m)
+		reply(wire.CommitResp{CommitTS: f.commitTS})
+	default:
+		reply(wire.ErrorResp{Msg: "unexpected"})
+	}
+}
+
+func (f *fakeCoordinator) HandleCast(_ topology.NodeID, msg wire.Message) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := msg.(wire.FinishTx); ok {
+		f.finishes = append(f.finishes, m)
+	}
+}
+
+var (
+	coordID  = topology.ServerID(0, 0)
+	clientID = topology.ClientID(0, 1)
+)
+
+func newClientRig(t *testing.T, cfg Config, coord *fakeCoordinator) *Client {
+	t.Helper()
+	net := transport.NewMemNet(nil)
+	t.Cleanup(func() { _ = net.Close() })
+
+	coordPeer := transport.NewPeer(coordID, coord)
+	ep, err := net.Register(coordID, coordPeer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordPeer.Attach(ep)
+
+	if cfg.ID.Role == 0 {
+		cfg.ID = clientID
+	}
+	if cfg.Coordinator.Role == 0 {
+		cfg.Coordinator = coordID
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cep, err := net.Register(c.ID(), c.Peer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Peer().Attach(cep)
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestNewValidatesIdentities(t *testing.T) {
+	if _, err := New(Config{ID: coordID, Coordinator: coordID}); err == nil {
+		t.Fatal("server identity accepted as client")
+	}
+	if _, err := New(Config{ID: clientID, Coordinator: clientID}); err == nil {
+		t.Fatal("client identity accepted as coordinator")
+	}
+}
+
+func TestOperationsRequireTransaction(t *testing.T) {
+	c := newClientRig(t, Config{}, &fakeCoordinator{})
+	ctx := context.Background()
+	if _, err := c.Read(ctx, "k"); err != ErrNoTransaction {
+		t.Fatalf("Read err = %v", err)
+	}
+	if err := c.Write("k", nil); err != ErrNoTransaction {
+		t.Fatalf("Write err = %v", err)
+	}
+	if _, err := c.Commit(ctx); err != ErrNoTransaction {
+		t.Fatalf("Commit err = %v", err)
+	}
+	c.Abandon() // no-op outside a transaction
+}
+
+func TestDoubleStartRejected(t *testing.T) {
+	c := newClientRig(t, Config{}, &fakeCoordinator{})
+	ctx := context.Background()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(ctx); err != ErrInTransaction {
+		t.Fatalf("second Start err = %v", err)
+	}
+}
+
+func TestStartSendsUSTAndAdoptsSnapshot(t *testing.T) {
+	coord := &fakeCoordinator{snapshot: hlc.New(100, 0)}
+	c := newClientRig(t, Config{}, coord)
+	ctx := context.Background()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c.Snapshot() != hlc.New(100, 0) {
+		t.Fatalf("snapshot %v", c.Snapshot())
+	}
+	if c.UST() != hlc.New(100, 0) {
+		t.Fatalf("ustc %v not adopted", c.UST())
+	}
+	if _, err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next start piggybacks the observed UST.
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	coord.mu.Lock()
+	sent := coord.starts[1].ClientUST
+	coord.mu.Unlock()
+	if sent != hlc.New(100, 0) {
+		t.Fatalf("second start sent ustc %v", sent)
+	}
+}
+
+func TestReadChecksWSBeforeServer(t *testing.T) {
+	coord := &fakeCoordinator{store: map[string]wire.Item{
+		"k": {Key: "k", Value: []byte("server"), UT: 1, TxID: 9},
+	}}
+	c := newClientRig(t, Config{}, coord)
+	ctx := context.Background()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write("k", []byte("buffered")); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := c.Read(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vals["k"]) != "buffered" {
+		t.Fatalf("read %q, want buffered write", vals["k"])
+	}
+	coord.mu.Lock()
+	reads := len(coord.reads)
+	coord.mu.Unlock()
+	if reads != 0 {
+		t.Fatal("WS hit still contacted the server")
+	}
+	if c.Stats().KeysFromWS != 1 {
+		t.Fatalf("stats: %+v", c.Stats())
+	}
+}
+
+func TestReadSetGivesRepeatableReads(t *testing.T) {
+	coord := &fakeCoordinator{store: map[string]wire.Item{
+		"k": {Key: "k", Value: []byte("v1"), UT: 5, TxID: 1},
+	}}
+	c := newClientRig(t, Config{}, coord)
+	ctx := context.Background()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	// Server value changes mid-transaction.
+	coord.mu.Lock()
+	coord.store["k"] = wire.Item{Key: "k", Value: []byte("v2"), UT: 9, TxID: 2}
+	coord.mu.Unlock()
+
+	vals, err := c.Read(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vals["k"]) != "v1" {
+		t.Fatalf("repeatable read violated: %q", vals["k"])
+	}
+	if c.Stats().KeysFromRS != 1 {
+		t.Fatalf("stats: %+v", c.Stats())
+	}
+	item, ok := c.Observed("k")
+	if !ok || item.TxID != 1 {
+		t.Fatalf("Observed = %+v, %v", item, ok)
+	}
+}
+
+func TestCommitMovesWritesToCacheAndPrunes(t *testing.T) {
+	coord := &fakeCoordinator{commitTS: hlc.New(200, 0)}
+	c := newClientRig(t, Config{}, coord)
+	ctx := context.Background()
+
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Write("a", []byte("1"))
+	_ = c.Write("b", []byte("2"))
+	ct, err := c.Commit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct != hlc.New(200, 0) || c.HWT() != ct {
+		t.Fatalf("ct %v hwt %v", ct, c.HWT())
+	}
+	if c.CacheSize() != 2 {
+		t.Fatalf("cache size %d, want 2", c.CacheSize())
+	}
+
+	// Cache hit on the next transaction (snapshot still below commit ts).
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := c.Read(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vals["a"]) != "1" {
+		t.Fatalf("cache read %q", vals["a"])
+	}
+	if c.Stats().KeysFromWC != 1 {
+		t.Fatalf("stats: %+v", c.Stats())
+	}
+	if _, err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Once the coordinator's snapshot covers the commit, the cache prunes.
+	coord.mu.Lock()
+	coord.snapshot = hlc.New(300, 0)
+	coord.mu.Unlock()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c.CacheSize() != 0 {
+		t.Fatalf("cache not pruned: %d entries", c.CacheSize())
+	}
+	if c.Stats().CachePruned != 2 {
+		t.Fatalf("stats: %+v", c.Stats())
+	}
+	if _, err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOnlyCommitSendsFinish(t *testing.T) {
+	coord := &fakeCoordinator{}
+	c := newClientRig(t, Config{}, coord)
+	ctx := context.Background()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := c.Commit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct != 0 {
+		t.Fatalf("read-only commit ts %v", ct)
+	}
+	waitCond(t, func() bool {
+		coord.mu.Lock()
+		defer coord.mu.Unlock()
+		return len(coord.finishes) == 1
+	})
+	if c.Stats().TxReadOnly != 1 {
+		t.Fatalf("stats: %+v", c.Stats())
+	}
+}
+
+func TestAbandonReleasesContext(t *testing.T) {
+	coord := &fakeCoordinator{}
+	c := newClientRig(t, Config{}, coord)
+	ctx := context.Background()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Write("k", []byte("v"))
+	c.Abandon()
+	waitCond(t, func() bool {
+		coord.mu.Lock()
+		defer coord.mu.Unlock()
+		return len(coord.finishes) == 1
+	})
+	// Nothing was committed, nothing cached.
+	if c.CacheSize() != 0 {
+		t.Fatal("abandoned writes leaked into the cache")
+	}
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitSendsHWT(t *testing.T) {
+	coord := &fakeCoordinator{commitTS: hlc.New(500, 0)}
+	c := newClientRig(t, Config{}, coord)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := c.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+		_ = c.Write("k", []byte("v"))
+		if _, err := c.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coord.mu.Lock()
+	defer coord.mu.Unlock()
+	if coord.commits[0].HWT != 0 {
+		t.Fatalf("first commit hwt %v, want 0", coord.commits[0].HWT)
+	}
+	if coord.commits[1].HWT != hlc.New(500, 0) {
+		t.Fatalf("second commit hwt %v, want 500.0", coord.commits[1].HWT)
+	}
+}
+
+func TestBlockingModeFoldsCommitIntoUST(t *testing.T) {
+	coord := &fakeCoordinator{commitTS: hlc.New(700, 0)}
+	c := newClientRig(t, Config{Mode: ModeBlocking}, coord)
+	ctx := context.Background()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Write("k", []byte("v"))
+	if _, err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c.UST() != hlc.New(700, 0) {
+		t.Fatalf("BPR client ust %v, want commit ts", c.UST())
+	}
+}
+
+func TestDisableCacheSkipsCache(t *testing.T) {
+	coord := &fakeCoordinator{commitTS: hlc.New(200, 0)}
+	c := newClientRig(t, Config{DisableCache: true}, coord)
+	ctx := context.Background()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Write("k", []byte("v"))
+	if _, err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c.CacheSize() != 0 {
+		t.Fatal("cache populated despite DisableCache")
+	}
+}
+
+// waitCond polls for an asynchronously delivered effect (the memnet
+// delivers casts on a separate goroutine even at zero latency).
+func waitCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never satisfied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCacheBypassSkipsLocalSources(t *testing.T) {
+	// Keys under a resolver prefix must always be fetched from the server:
+	// locally buffered single operations are not the merged value.
+	coord := &fakeCoordinator{
+		commitTS: hlc.New(50, 0),
+		store: map[string]wire.Item{
+			"cnt:x": {Key: "cnt:x", Value: []byte("merged"), UT: 1, TxID: 9},
+		},
+	}
+	c := newClientRig(t, Config{
+		CacheBypass: func(key string) bool { return len(key) > 4 && key[:4] == "cnt:" },
+	}, coord)
+	ctx := context.Background()
+
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Write("cnt:x", []byte("delta"))
+	vals, err := c.Read(ctx, "cnt:x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vals["cnt:x"]) != "merged" {
+		t.Fatalf("bypass read returned %q, want server value", vals["cnt:x"])
+	}
+	if _, err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// After commit the write sits in the cache, but bypass keys still read
+	// from the server.
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	vals, err = c.Read(ctx, "cnt:x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vals["cnt:x"]) != "merged" {
+		t.Fatalf("post-commit bypass read returned %q", vals["cnt:x"])
+	}
+	// Non-bypass keys keep the normal write-set behaviour.
+	_ = c.Write("plain", []byte("buffered"))
+	vals, err = c.Read(ctx, "plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vals["plain"]) != "buffered" {
+		t.Fatalf("plain key read %q", vals["plain"])
+	}
+}

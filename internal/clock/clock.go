@@ -1,0 +1,98 @@
+// Package clock provides physical time sources for hybrid logical clocks.
+//
+// The paper's deployment synchronizes server clocks with NTP; this package
+// substitutes an injectable skew/drift model so the simulated cluster
+// reproduces the loosely synchronized clocks HLC is designed for, and so
+// tests can explore skew sensitivity directly.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Source supplies physical time in milliseconds since the Unix epoch. It is
+// the concrete implementation behind hlc.PhysicalSource.
+type Source interface {
+	NowMillis() uint64
+}
+
+// System reads the machine's real clock. All nodes sharing a System source
+// behave like perfectly synchronized servers.
+type System struct{}
+
+// NowMillis implements Source.
+func (System) NowMillis() uint64 {
+	return uint64(time.Now().UnixMilli())
+}
+
+// Skewed wraps a Source and offsets it by a fixed skew plus a linear drift,
+// emulating an imperfectly NTP-synchronized server clock.
+type Skewed struct {
+	base  Source
+	skew  time.Duration
+	drift float64 // fractional rate error, e.g. 1e-5 = 10 ppm
+
+	mu     sync.Mutex
+	origin uint64 // base time at construction, anchor for drift
+}
+
+// NewSkewed returns a Source that reads base shifted by skew and drifting at
+// the given fractional rate (positive drift runs fast). A zero skew and drift
+// behaves identically to base.
+func NewSkewed(base Source, skew time.Duration, drift float64) *Skewed {
+	return &Skewed{base: base, skew: skew, drift: drift, origin: base.NowMillis()}
+}
+
+// NowMillis implements Source.
+func (s *Skewed) NowMillis() uint64 {
+	now := s.base.NowMillis()
+	s.mu.Lock()
+	origin := s.origin
+	s.mu.Unlock()
+	elapsed := float64(now - origin)
+	shifted := int64(now) + s.skew.Milliseconds() + int64(elapsed*s.drift)
+	if shifted < 0 {
+		return 0
+	}
+	return uint64(shifted)
+}
+
+// Manual is a hand-advanced clock for deterministic tests. The zero value
+// starts at time 0; use Set or Advance to move it.
+type Manual struct {
+	mu  sync.Mutex
+	now uint64
+}
+
+// NewManual returns a Manual clock starting at startMillis.
+func NewManual(startMillis uint64) *Manual {
+	return &Manual{now: startMillis}
+}
+
+// NowMillis implements Source.
+func (m *Manual) NowMillis() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Advance moves the clock forward by d (negative durations are ignored).
+func (m *Manual) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	m.mu.Lock()
+	m.now += uint64(d.Milliseconds())
+	m.mu.Unlock()
+}
+
+// Set jumps the clock to the given absolute millisecond value if it is ahead
+// of the current value; Manual clocks never move backwards.
+func (m *Manual) Set(millis uint64) {
+	m.mu.Lock()
+	if millis > m.now {
+		m.now = millis
+	}
+	m.mu.Unlock()
+}

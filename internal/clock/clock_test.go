@@ -1,0 +1,77 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSystemAdvances(t *testing.T) {
+	var s System
+	a := s.NowMillis()
+	time.Sleep(15 * time.Millisecond)
+	b := s.NowMillis()
+	if b < a+10 {
+		t.Fatalf("system clock did not advance: %d then %d", a, b)
+	}
+}
+
+func TestManualStartsAtGivenTime(t *testing.T) {
+	m := NewManual(42)
+	if got := m.NowMillis(); got != 42 {
+		t.Fatalf("NowMillis = %d, want 42", got)
+	}
+}
+
+func TestManualAdvance(t *testing.T) {
+	m := NewManual(0)
+	m.Advance(250 * time.Millisecond)
+	if got := m.NowMillis(); got != 250 {
+		t.Fatalf("NowMillis = %d, want 250", got)
+	}
+	m.Advance(-time.Second) // ignored
+	if got := m.NowMillis(); got != 250 {
+		t.Fatalf("negative Advance moved clock: %d", got)
+	}
+}
+
+func TestManualSetNeverMovesBackwards(t *testing.T) {
+	m := NewManual(100)
+	m.Set(50)
+	if got := m.NowMillis(); got != 100 {
+		t.Fatalf("Set moved clock backwards: %d", got)
+	}
+	m.Set(500)
+	if got := m.NowMillis(); got != 500 {
+		t.Fatalf("Set did not move clock forwards: %d", got)
+	}
+}
+
+func TestSkewedAppliesOffset(t *testing.T) {
+	base := NewManual(1000)
+	ahead := NewSkewed(base, 200*time.Millisecond, 0)
+	behind := NewSkewed(base, -300*time.Millisecond, 0)
+	if got := ahead.NowMillis(); got != 1200 {
+		t.Fatalf("ahead = %d, want 1200", got)
+	}
+	if got := behind.NowMillis(); got != 700 {
+		t.Fatalf("behind = %d, want 700", got)
+	}
+}
+
+func TestSkewedAppliesDrift(t *testing.T) {
+	base := NewManual(0)
+	fast := NewSkewed(base, 0, 0.10) // 10% fast: exaggerated for testability
+	base.Advance(1000 * time.Millisecond)
+	got := fast.NowMillis()
+	if got < 1090 || got > 1110 {
+		t.Fatalf("drifted clock = %d, want ≈1100", got)
+	}
+}
+
+func TestSkewedClampsBelowZero(t *testing.T) {
+	base := NewManual(10)
+	s := NewSkewed(base, -time.Minute, 0)
+	if got := s.NowMillis(); got != 0 {
+		t.Fatalf("negative time must clamp to 0, got %d", got)
+	}
+}

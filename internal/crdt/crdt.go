@@ -1,0 +1,151 @@
+// Package crdt implements pluggable conflict resolution for PaRiS. The paper
+// resolves conflicting writes with last-writer-wins but notes that "PaRiS can
+// be extended to support other conflict resolution mechanisms" (§II-B): any
+// commutative, associative function over the set of updates to a key.
+//
+// This package provides three such mechanisms, all operating on the
+// multi-version chains the store already keeps:
+//
+//   - LWW — last-writer-wins over the (ut, txid, srcDC) total order (the
+//     paper's default; byte-for-byte identical to the plain read path);
+//   - Counter — an operation-based PN-counter: every write is a signed
+//     delta, the value at a snapshot is the sum of all visible deltas;
+//   - GSet — a grow-only set: every write adds elements, the value at a
+//     snapshot is the union of all visible additions.
+//
+// Because Counter and GSet derive a key's value from *all* visible versions,
+// garbage collection must not silently drop old versions: Compact folds the
+// collectable suffix of a chain into a single summary version that preserves
+// the merge result for every snapshot at or above the GC watermark.
+package crdt
+
+import (
+	"encoding/binary"
+	"sort"
+	"strings"
+
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// Resolver merges the versions of a key visible in a snapshot into the
+// key's value. Chains are passed newest-first (the store's native order) and
+// are never empty. Implementations must be commutative and associative in
+// the set of versions: the result may not depend on arrival order.
+//
+// Resolver deliberately matches store.Resolver so implementations here plug
+// into the storage layer without an import cycle.
+type Resolver interface {
+	// Merge computes the value of the key from its visible versions.
+	Merge(visible []wire.Item) []byte
+	// Compact folds versions that garbage collection wants to drop into a
+	// single summary version. For every snapshot ≥ the newest victim's
+	// timestamp, merging (summary + survivors) must equal merging
+	// (victims + survivors). Victims are passed newest-first.
+	Compact(victims []wire.Item) wire.Item
+}
+
+// LWW is the paper's default conflict resolution: the newest version under
+// the (ut, txid, srcDC) total order wins.
+type LWW struct{}
+
+// Merge implements Resolver.
+func (LWW) Merge(visible []wire.Item) []byte { return visible[0].Value }
+
+// Compact implements Resolver: only the newest victim can ever be read, so
+// it is the summary.
+func (LWW) Compact(victims []wire.Item) wire.Item { return victims[0] }
+
+// Counter is an operation-based PN-counter. Writes carry signed int64
+// deltas (EncodeDelta); the merged value is the sum of all visible deltas,
+// encoded the same way (DecodeValue reads it back).
+type Counter struct{}
+
+// EncodeDelta encodes a signed delta for writing to a counter key.
+func EncodeDelta(delta int64) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(delta))
+	return buf[:]
+}
+
+// DecodeValue decodes a counter read (or delta). Empty or malformed values
+// count as zero, so a counter key never poisons a read.
+func DecodeValue(value []byte) int64 {
+	if len(value) != 8 {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(value))
+}
+
+// Merge implements Resolver: the sum of all visible deltas.
+func (Counter) Merge(visible []wire.Item) []byte {
+	var sum int64
+	for _, v := range visible {
+		sum += DecodeValue(v.Value)
+	}
+	return EncodeDelta(sum)
+}
+
+// Compact implements Resolver: victims collapse into one delta carrying
+// their sum, stamped with the newest victim's identity so chain order is
+// preserved.
+func (Counter) Compact(victims []wire.Item) wire.Item {
+	var sum int64
+	for _, v := range victims {
+		sum += DecodeValue(v.Value)
+	}
+	summary := victims[0]
+	summary.Value = EncodeDelta(sum)
+	return summary
+}
+
+// GSet is a grow-only set of strings. Writes carry element batches
+// (EncodeElements); the merged value is the sorted union of all visible
+// batches.
+type GSet struct{}
+
+// setSeparator joins elements on the wire; elements must not contain it.
+const setSeparator = "\x1f"
+
+// EncodeElements encodes a batch of set additions.
+func EncodeElements(elems ...string) []byte {
+	return []byte(strings.Join(elems, setSeparator))
+}
+
+// DecodeElements decodes a set value into its elements.
+func DecodeElements(value []byte) []string {
+	if len(value) == 0 {
+		return nil
+	}
+	return strings.Split(string(value), setSeparator)
+}
+
+// Merge implements Resolver: the sorted, deduplicated union.
+func (GSet) Merge(visible []wire.Item) []byte {
+	set := make(map[string]struct{})
+	for _, v := range visible {
+		for _, e := range DecodeElements(v.Value) {
+			set[e] = struct{}{}
+		}
+	}
+	elems := make([]string, 0, len(set))
+	for e := range set {
+		elems = append(elems, e)
+	}
+	sort.Strings(elems)
+	return EncodeElements(elems...)
+}
+
+// Compact implements Resolver: victims collapse into their union.
+func (GSet) Compact(victims []wire.Item) wire.Item {
+	summary := victims[0]
+	summary.Value = GSet{}.Merge(victims)
+	return summary
+}
+
+// Compile-time interface checks (the store-side interface is structural,
+// but the package's own contract should hold too).
+var (
+	_ Resolver = LWW{}
+	_ Resolver = Counter{}
+	_ Resolver = GSet{}
+)

@@ -1,0 +1,143 @@
+package crdt
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+func version(ut uint64, tx uint64, val []byte) wire.Item {
+	return wire.Item{Key: "k", Value: val, UT: hlc.Timestamp(ut), TxID: wire.TxID(tx)}
+}
+
+func TestLWWPicksNewest(t *testing.T) {
+	chain := []wire.Item{ // newest first
+		version(30, 3, []byte("new")),
+		version(20, 2, []byte("mid")),
+		version(10, 1, []byte("old")),
+	}
+	if got := (LWW{}).Merge(chain); string(got) != "new" {
+		t.Fatalf("LWW merge = %q", got)
+	}
+	if got := (LWW{}).Compact(chain); string(got.Value) != "new" || got.UT != 30 {
+		t.Fatalf("LWW compact = %+v", got)
+	}
+}
+
+func TestCounterEncodeDecode(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 1 << 40, -(1 << 40)} {
+		if got := DecodeValue(EncodeDelta(v)); got != v {
+			t.Fatalf("round trip %d → %d", v, got)
+		}
+	}
+	// Malformed values read as zero rather than corrupting sums.
+	if DecodeValue(nil) != 0 || DecodeValue([]byte("xx")) != 0 {
+		t.Fatal("malformed counter value not treated as zero")
+	}
+}
+
+func TestCounterMergeSums(t *testing.T) {
+	chain := []wire.Item{
+		version(30, 3, EncodeDelta(-2)),
+		version(20, 2, EncodeDelta(10)),
+		version(10, 1, EncodeDelta(5)),
+	}
+	if got := DecodeValue(Counter{}.Merge(chain)); got != 13 {
+		t.Fatalf("counter merge = %d, want 13", got)
+	}
+}
+
+func TestCounterMergeOrderIndependent(t *testing.T) {
+	f := func(deltas []int16, seed int64) bool {
+		if len(deltas) == 0 {
+			return true
+		}
+		chain := make([]wire.Item, len(deltas))
+		var want int64
+		for i, d := range deltas {
+			chain[i] = version(uint64(len(deltas)-i), uint64(i), EncodeDelta(int64(d)))
+			want += int64(d)
+		}
+		shuffled := append([]wire.Item(nil), chain...)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		return DecodeValue(Counter{}.Merge(chain)) == want &&
+			DecodeValue(Counter{}.Merge(shuffled)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterCompactPreservesSum(t *testing.T) {
+	chain := []wire.Item{
+		version(30, 3, EncodeDelta(7)),
+		version(20, 2, EncodeDelta(-3)),
+		version(10, 1, EncodeDelta(100)),
+	}
+	summary := Counter{}.Compact(chain)
+	if DecodeValue(summary.Value) != 104 {
+		t.Fatalf("compacted sum = %d", DecodeValue(summary.Value))
+	}
+	// Summary carries the newest victim's identity so chain order holds.
+	if summary.UT != 30 || summary.TxID != 3 {
+		t.Fatalf("summary identity %+v", summary)
+	}
+	// Merging the summary with newer survivors equals merging everything.
+	survivor := version(40, 4, EncodeDelta(1))
+	if got := DecodeValue(Counter{}.Merge([]wire.Item{survivor, summary})); got != 105 {
+		t.Fatalf("post-compaction merge = %d, want 105", got)
+	}
+}
+
+func TestGSetEncodeDecode(t *testing.T) {
+	if got := DecodeElements(EncodeElements("a", "b")); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("round trip = %v", got)
+	}
+	if DecodeElements(nil) != nil {
+		t.Fatal("empty value decoded to elements")
+	}
+}
+
+func TestGSetMergeUnion(t *testing.T) {
+	chain := []wire.Item{
+		version(30, 3, EncodeElements("c", "a")),
+		version(20, 2, EncodeElements("b")),
+		version(10, 1, EncodeElements("a")),
+	}
+	got := DecodeElements(GSet{}.Merge(chain))
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("union = %v", got)
+	}
+}
+
+func TestGSetCompactPreservesUnion(t *testing.T) {
+	chain := []wire.Item{
+		version(20, 2, EncodeElements("y")),
+		version(10, 1, EncodeElements("x")),
+	}
+	summary := GSet{}.Compact(chain)
+	survivor := version(30, 3, EncodeElements("z"))
+	got := DecodeElements(GSet{}.Merge([]wire.Item{survivor, summary}))
+	if !reflect.DeepEqual(got, []string{"x", "y", "z"}) {
+		t.Fatalf("post-compaction union = %v", got)
+	}
+}
+
+func TestGSetMergeIdempotent(t *testing.T) {
+	// Duplicate deliveries (same element in many versions) collapse.
+	chain := []wire.Item{
+		version(20, 2, EncodeElements("a")),
+		version(10, 1, EncodeElements("a")),
+	}
+	got := DecodeElements(GSet{}.Merge(chain))
+	if !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("union = %v", got)
+	}
+}

@@ -1,0 +1,243 @@
+package hlc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// manualSource is a hand-advanced physical source local to this package's
+// tests (package clock depends on hlc's interface shape, not vice versa).
+type manualSource struct {
+	mu sync.Mutex
+	ms uint64
+}
+
+func (m *manualSource) NowMillis() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ms
+}
+
+func (m *manualSource) set(ms uint64) {
+	m.mu.Lock()
+	m.ms = ms
+	m.mu.Unlock()
+}
+
+func TestTimestampPacking(t *testing.T) {
+	cases := []struct {
+		phys    uint64
+		logical uint16
+	}{
+		{0, 0},
+		{1, 0},
+		{0, 1},
+		{12345, 678},
+		{1 << 40, MaxLogical},
+	}
+	for _, c := range cases {
+		ts := New(c.phys, c.logical)
+		if ts.Physical() != c.phys {
+			t.Errorf("New(%d,%d).Physical() = %d", c.phys, c.logical, ts.Physical())
+		}
+		if ts.Logical() != c.logical {
+			t.Errorf("New(%d,%d).Logical() = %d", c.phys, c.logical, ts.Logical())
+		}
+	}
+}
+
+func TestTimestampOrderMatchesComponents(t *testing.T) {
+	// The integer order on Timestamp must equal lexicographic order on
+	// (physical, logical); the protocol depends on this to compare snapshot
+	// and commit timestamps with plain <.
+	f := func(p1 uint32, l1 uint16, p2 uint32, l2 uint16) bool {
+		t1, t2 := New(uint64(p1), l1), New(uint64(p2), l2)
+		lex := uint64(p1) < uint64(p2) || (p1 == p2 && l1 < l2)
+		return (t1 < t2) == lex
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimestampString(t *testing.T) {
+	if got := New(42, 7).String(); got != "42.7" {
+		t.Fatalf("String() = %q, want 42.7", got)
+	}
+}
+
+func TestClockNowFollowsPhysical(t *testing.T) {
+	src := &manualSource{}
+	c := NewClock(src)
+
+	src.set(100)
+	ts := c.Now()
+	if ts.Physical() != 100 || ts.Logical() != 0 {
+		t.Fatalf("first tick = %v, want 100.0", ts)
+	}
+
+	src.set(200)
+	ts = c.Now()
+	if ts.Physical() != 200 || ts.Logical() != 0 {
+		t.Fatalf("after advance = %v, want 200.0", ts)
+	}
+}
+
+func TestClockLogicalIncrementsWhenPhysicalStalls(t *testing.T) {
+	src := &manualSource{}
+	src.set(50)
+	c := NewClock(src)
+
+	first := c.Now()
+	second := c.Now()
+	third := c.Now()
+	if second != first+1 || third != second+1 {
+		t.Fatalf("stalled clock must increment logically: %v %v %v", first, second, third)
+	}
+	if second.Physical() != 50 {
+		t.Fatalf("physical part moved without physical time: %v", second)
+	}
+}
+
+func TestClockStrictMonotonicity(t *testing.T) {
+	src := &manualSource{}
+	src.set(10)
+	c := NewClock(src)
+	prev := c.Now()
+	for i := 0; i < 1000; i++ {
+		if i == 500 {
+			src.set(5) // physical clock jumping backwards must not break monotonicity
+		}
+		ts := c.Now()
+		if ts <= prev {
+			t.Fatalf("Now() not strictly monotonic: %v after %v", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestClockUpdateExceedsObserved(t *testing.T) {
+	src := &manualSource{}
+	src.set(10)
+	c := NewClock(src)
+
+	remote := New(9999, 3)
+	ts := c.Update(remote)
+	if ts <= remote {
+		t.Fatalf("Update must exceed observed: got %v for observed %v", ts, remote)
+	}
+	// Subsequent local events keep running ahead of the observed timestamp
+	// even though the physical clock is far behind.
+	if next := c.Now(); next <= ts {
+		t.Fatalf("Now after Update regressed: %v then %v", ts, next)
+	}
+}
+
+func TestClockObserveAdvancesWithoutTicking(t *testing.T) {
+	src := &manualSource{}
+	src.set(10)
+	c := NewClock(src)
+	c.Observe(New(500, 0))
+	if cur := c.Current(); cur != New(500, 0) {
+		t.Fatalf("Current after Observe = %v, want 500.0", cur)
+	}
+	// Observe of an older timestamp is a no-op.
+	c.Observe(New(100, 0))
+	if cur := c.Current(); cur != New(500, 0) {
+		t.Fatalf("Observe moved clock backwards: %v", cur)
+	}
+}
+
+func TestClockLogicalOverflowSpillsToNextMillisecond(t *testing.T) {
+	src := &manualSource{}
+	src.set(7)
+	c := NewClock(src)
+	c.Observe(New(7, MaxLogical-1))
+	ts := c.Now() // saturates logical
+	if ts.Physical() != 8 || ts.Logical() != 0 {
+		t.Fatalf("expected spill to 8.0, got %v", ts)
+	}
+}
+
+func TestClockConcurrentNowIsStrictlyOrdered(t *testing.T) {
+	c := NewClock(&manualSource{ms: 1})
+	const (
+		goroutines = 8
+		perG       = 2000
+	)
+	results := make([][]Timestamp, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]Timestamp, perG)
+			for i := range out {
+				out[i] = c.Now()
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+
+	seen := make(map[Timestamp]bool, goroutines*perG)
+	for _, out := range results {
+		for i, ts := range out {
+			if seen[ts] {
+				t.Fatalf("duplicate timestamp issued: %v", ts)
+			}
+			seen[ts] = true
+			if i > 0 && out[i] <= out[i-1] {
+				t.Fatalf("per-goroutine order violated: %v then %v", out[i-1], out[i])
+			}
+		}
+	}
+}
+
+func TestClockTracksRealTimeRate(t *testing.T) {
+	// With a real time source, two ticks 30ms apart must differ by roughly
+	// the elapsed physical time — the property that keeps UST snapshots fresh.
+	c := NewClock(realSource{})
+	a := c.Now()
+	time.Sleep(30 * time.Millisecond)
+	b := c.Now()
+	if delta := b.Physical() - a.Physical(); delta < 20 {
+		t.Fatalf("HLC did not track physical time: delta=%dms", delta)
+	}
+}
+
+type realSource struct{}
+
+func (realSource) NowMillis() uint64 { return uint64(time.Now().UnixMilli()) }
+
+func TestMinMax(t *testing.T) {
+	a, b := New(1, 0), New(2, 0)
+	if Min(a, b) != a || Min(b, a) != a {
+		t.Error("Min wrong")
+	}
+	if Max(a, b) != b || Max(b, a) != b {
+		t.Error("Max wrong")
+	}
+}
+
+func TestUpdatePropertyQuick(t *testing.T) {
+	// Property: for any sequence of observed timestamps, the clock output is
+	// strictly increasing and each Update output strictly exceeds its input.
+	f := func(observed []uint32) bool {
+		c := NewClock(&manualSource{ms: 1})
+		prev := Timestamp(0)
+		for _, o := range observed {
+			ts := c.Update(Timestamp(o))
+			if ts <= prev || ts <= Timestamp(o) {
+				return false
+			}
+			prev = ts
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

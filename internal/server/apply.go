@@ -1,0 +1,233 @@
+package server
+
+import (
+	"sort"
+	"time"
+
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// This file implements the apply/replicate loop and the replication receive
+// path (Algorithm 4 lines 5–33), plus the installed-snapshot waiters that the
+// BPR baseline's blocking reads park on.
+
+// applyTick runs every ΔR (Alg. 4 lines 5–22). It computes the upper bound ub
+// below which no future transaction can commit, applies every committed
+// transaction with ct ≤ ub to the store in commit-timestamp order, replicates
+// the applied groups to peer replicas, advances the local version clock to
+// ub, and heartbeats when there was nothing to replicate.
+//
+// Note on ct ≤ ub versus the paper's ct < ub (Alg. 4 line 10): after setting
+// VV[self] = ub the server claims to have installed everything with
+// timestamp up to and including ub, so a committed transaction with ct == ub
+// must be applied in the same round. Applying ct ≤ ub is safe because ub is
+// strictly below every prepared timestamp and the hybrid clock, hence below
+// any future commit timestamp.
+func (s *Server) applyTick() {
+	s.mu.Lock()
+
+	var ub hlc.Timestamp
+	if len(s.prepared) > 0 {
+		// ub ← min{p.pt} − 1: nothing can commit at or below the smallest
+		// prepared proposal (commit times are maxima over proposals).
+		ub = hlc.MaxTimestamp
+		for _, p := range s.prepared {
+			if p.pt < ub {
+				ub = p.pt
+			}
+		}
+		ub--
+	} else {
+		// ub ← max{Clock, HLC}, advanced as a local event so that any later
+		// prepare proposes strictly above ub.
+		ub = s.clock.Now()
+	}
+
+	// Collect committed transactions with ct ≤ ub, ordered by (ct, id).
+	var ready []committedTx
+	if len(s.committed) > 0 {
+		rest := s.committed[:0]
+		for _, c := range s.committed {
+			if c.ct <= ub {
+				ready = append(ready, c)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		s.committed = rest
+	}
+	sort.Slice(ready, func(i, j int) bool {
+		if ready[i].ct != ready[j].ct {
+			return ready[i].ct < ready[j].ct
+		}
+		return ready[i].id < ready[j].id
+	})
+
+	// Apply to the multi-version store before exposing ub: a reader that
+	// sees VV[self] = ub must find every version with ut ≤ ub.
+	for _, c := range ready {
+		s.applyTxLocked(c)
+	}
+	s.vv[s.self.DC] = ub
+	s.drainVisibilityLocked()
+	peers := s.cfg.Topology.PeerReplicas(s.self.Partition(), s.self.DC)
+	s.mu.Unlock()
+
+	s.notifyInstalled(s.installedLowerBound())
+
+	// Replicate applied groups (one message per distinct commit timestamp,
+	// as in Alg. 4 line 11's grouping) or heartbeat if idle.
+	if len(ready) > 0 {
+		for start := 0; start < len(ready); {
+			end := start
+			for end < len(ready) && ready[end].ct == ready[start].ct {
+				end++
+			}
+			group := wire.Replicate{SrcDC: s.self.DC, CT: ready[start].ct}
+			group.Txns = make([]wire.TxUpdates, 0, end-start)
+			for _, c := range ready[start:end] {
+				group.Txns = append(group.Txns, wire.TxUpdates{
+					TxID:   c.id,
+					SrcDC:  c.srcDC,
+					Writes: c.writes,
+				})
+			}
+			for _, peer := range peers {
+				_ = s.peer.Cast(peer, group)
+			}
+			start = end
+		}
+		s.metrics.txApplied.Add(uint64(len(ready)))
+		return
+	}
+	hb := wire.Heartbeat{SrcDC: s.self.DC, TS: ub}
+	for _, peer := range peers {
+		_ = s.peer.Cast(peer, hb)
+	}
+}
+
+// applyTxLocked writes one committed transaction's updates into the store
+// (Alg. 4 update()) and samples them for visibility tracking. Caller holds
+// s.mu.
+func (s *Server) applyTxLocked(c committedTx) {
+	for _, kv := range c.writes {
+		s.store.Apply(wire.Item{
+			Key:   kv.Key,
+			Value: kv.Value,
+			UT:    c.ct,
+			TxID:  c.id,
+			SrcDC: c.srcDC,
+		})
+	}
+	if s.vis != nil {
+		s.vis.recordCommit(c.ct)
+	}
+}
+
+// handleReplicate implements Alg. 4 lines 23–30: apply the group's updates
+// and advance the version-vector entry of the source replica to the group's
+// commit timestamp.
+func (s *Server) handleReplicate(m wire.Replicate) {
+	s.mu.Lock()
+	for _, tx := range m.Txns {
+		s.applyTxLocked(committedTx{id: tx.TxID, ct: m.CT, srcDC: tx.SrcDC, writes: tx.Writes})
+	}
+	// Couple the hybrid clocks of replicas (receive rule); not required for
+	// safety — LWW tolerates clock divergence — but keeps snapshot freshness
+	// uniform across DCs.
+	s.clock.Observe(m.CT)
+	s.advanceVVLocked(m.SrcDC, m.CT)
+	s.mu.Unlock()
+
+	s.notifyInstalled(s.installedLowerBound())
+	s.metrics.replGroups.Add(1)
+}
+
+// handleHeartbeat implements Alg. 4 lines 31–33.
+func (s *Server) handleHeartbeat(m wire.Heartbeat) {
+	s.mu.Lock()
+	s.advanceVVLocked(m.SrcDC, m.TS)
+	s.mu.Unlock()
+	s.notifyInstalled(s.installedLowerBound())
+}
+
+// advanceVVLocked moves a version-vector entry forward; entries never
+// regress (FIFO links deliver timestamps in order, but a heartbeat racing a
+// replicate group must not rewind the entry).
+func (s *Server) advanceVVLocked(dc topology.DCID, ts hlc.Timestamp) {
+	if cur, ok := s.vv[dc]; ok && ts > cur {
+		s.vv[dc] = ts
+		s.drainVisibilityLocked()
+	}
+}
+
+// installedLowerBound is the timestamp below which every transaction — local
+// or remote — has been applied on this partition: the minimum over the
+// version vector. BPR reads at snapshot t wait until this bound reaches t.
+func (s *Server) installedLowerBound() hlc.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.installedLowerBoundLocked()
+}
+
+func (s *Server) installedLowerBoundLocked() hlc.Timestamp {
+	low := hlc.MaxTimestamp
+	for _, ts := range s.vv {
+		if ts < low {
+			low = ts
+		}
+	}
+	return low
+}
+
+// installWaiter parks a BPR read until the installed bound reaches ts.
+type installWaiter struct {
+	ts    hlc.Timestamp
+	ready chan struct{}
+}
+
+// waitInstalled blocks until the installed lower bound reaches ts or the
+// server stops; it returns how long it waited (the paper's §V-B "blocking
+// time" metric; zero when the read proceeded immediately).
+func (s *Server) waitInstalled(ts hlc.Timestamp) time.Duration {
+	s.mu.Lock()
+	if s.installedLowerBoundLocked() >= ts {
+		s.mu.Unlock()
+		return 0
+	}
+	w := installWaiter{ts: ts, ready: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+
+	start := time.Now()
+	select {
+	case <-w.ready:
+	case <-s.stopped:
+	}
+	return time.Since(start)
+}
+
+// notifyInstalled wakes every waiter whose target the bound has reached.
+func (s *Server) notifyInstalled(bound hlc.Timestamp) {
+	s.mu.Lock()
+	if len(s.waiters) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	remaining := s.waiters[:0]
+	var wake []installWaiter
+	for _, w := range s.waiters {
+		if w.ts <= bound {
+			wake = append(wake, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	s.waiters = remaining
+	s.mu.Unlock()
+	for _, w := range wake {
+		close(w.ready)
+	}
+}

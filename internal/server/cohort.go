@@ -1,0 +1,128 @@
+package server
+
+import (
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/store"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// This file implements the transaction-cohort role (Algorithm 3): snapshot
+// reads on one partition, the prepare and commit phases of 2PC, and the BPR
+// baseline's blocking read path.
+
+// handleReadSlice implements Alg. 3 lines 1–8: return the freshest version of
+// each key within the snapshot. In PaRiS mode this never blocks: the snapshot
+// is universally stable, so everything it contains has already been applied.
+func (s *Server) handleReadSlice(req wire.ReadSliceReq) wire.Message {
+	// ust mn ← max{ust mn, ust}: piggybacked stabilization (Alg. 3 line 2).
+	s.observeUST(req.Snapshot)
+
+	items := make([]wire.Item, 0, len(req.Keys))
+	for _, k := range req.Keys {
+		var (
+			item wire.Item
+			ok   bool
+		)
+		if r := s.resolverFor(k); r != nil {
+			item, ok = s.store.ReadResolved(k, req.Snapshot, r)
+		} else {
+			item, ok = s.store.Read(k, req.Snapshot)
+		}
+		if ok {
+			items = append(items, item)
+		}
+	}
+	s.metrics.slicesServed.Add(1)
+	return wire.ReadSliceResp{Items: items}
+}
+
+// handleReadSliceBlocking is the BPR read path: wait until this partition has
+// installed every local and remote transaction with commit timestamp up to
+// the snapshot, then serve the read. The wait is the price BPR pays for its
+// fresher snapshots.
+func (s *Server) handleReadSliceBlocking(req wire.ReadSliceReq) wire.Message {
+	waited := s.waitInstalled(req.Snapshot)
+	s.metrics.observeBlocking(waited)
+	if s.isStopped() {
+		return wire.ErrorResp{Code: wire.CodeShuttingDown, Msg: "server stopped"}
+	}
+	return s.handleReadSlice(req)
+}
+
+// resolverFor returns the key's custom conflict resolver, if any.
+func (s *Server) resolverFor(key string) store.Resolver {
+	if s.cfg.ResolverFor == nil {
+		return nil
+	}
+	return s.cfg.ResolverFor(key)
+}
+
+// observeUST folds a piggybacked stable-time value into the server's UST
+// (Alg. 3 lines 2 and 11). In BPR mode snapshots come from coordinator
+// clocks, not from the UST, so they are not evidence of universal stability
+// and must not advance it.
+func (s *Server) observeUST(ts hlc.Timestamp) {
+	if ts == 0 || s.cfg.Mode != ModeNonBlocking {
+		return
+	}
+	s.mu.Lock()
+	if ts > s.ust {
+		s.ust = ts
+		s.drainVisibilityLocked()
+	}
+	s.mu.Unlock()
+}
+
+// handlePrepare implements Alg. 3 lines 9–14: advance the hybrid clock past
+// everything the client has seen, propose a commit time that reflects
+// causality, and park the transaction in the Prepared queue.
+func (s *Server) handlePrepare(req wire.PrepareReq) wire.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// HLC mn ← max(Clock, ht+1, HLC+1).
+	proposed := s.clock.Update(req.HT)
+	// ust mn ← max{ust mn, ust} (PaRiS only; BPR snapshots are not stable).
+	if s.cfg.Mode == ModeNonBlocking && req.Snapshot > s.ust {
+		s.ust = req.Snapshot
+		s.drainVisibilityLocked()
+	}
+	// pt ← max{HLC, ust}. The proposed time must exceed every snapshot the
+	// transaction could have read from.
+	if s.ust > proposed {
+		proposed = s.ust
+		s.clock.Observe(proposed)
+	}
+	s.prepared[req.TxID] = &preparedTx{
+		id:     req.TxID,
+		pt:     proposed,
+		srcDC:  s.self.DC,
+		writes: req.Writes,
+	}
+	s.metrics.prepares.Add(1)
+	return wire.PrepareResp{TxID: req.TxID, Proposed: proposed}
+}
+
+// handleCohortCommit implements Alg. 3 lines 15–19: move the transaction from
+// the Prepared queue to the Committed queue under its final commit timestamp.
+func (s *Server) handleCohortCommit(m wire.CohortCommit) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// HLC mn ← max(HLC, ct, Clock).
+	s.clock.Observe(m.CommitTS)
+
+	p, ok := s.prepared[m.TxID]
+	if !ok {
+		// Duplicate or post-shutdown commit; FIFO links make this unreachable
+		// in normal operation.
+		return
+	}
+	delete(s.prepared, m.TxID)
+	s.committed = append(s.committed, committedTx{
+		id:     p.id,
+		ct:     m.CommitTS,
+		srcDC:  p.srcDC,
+		writes: p.writes,
+	})
+}

@@ -1,0 +1,231 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// This file implements the transaction-coordinator role (Algorithm 2). Any
+// server can coordinate any transaction; clients pick a coordinator in their
+// local DC and send every operation of the session to it.
+
+// coordCallTimeout bounds a coordinator's wait for a cohort. Cohort requests
+// never block in PaRiS mode; in BPR mode reads wait for snapshot
+// installation, which is bounded by replication progress. The generous bound
+// exists so a crashed peer cannot wedge a coordinator forever.
+const coordCallTimeout = 60 * time.Second
+
+// handleStartTx implements Alg. 2 lines 1–5.
+func (s *Server) handleStartTx(req wire.StartTxReq) wire.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// ust mn ← max{ust mn, ustc}: the client may have observed a fresher
+	// stable snapshot on another coordinator. (In BPR the client value is
+	// clock-derived and not evidence of universal stability.)
+	if s.cfg.Mode == ModeNonBlocking && req.ClientUST > s.ust {
+		s.ust = req.ClientUST
+	}
+	var snapshot hlc.Timestamp
+	if s.cfg.Mode == ModeBlocking {
+		// BPR: snapshot is the max of the client's highest snapshot and the
+		// coordinator's clock — fresher than the UST, but reads will block.
+		snapshot = hlc.Max(req.ClientUST, s.clock.Now())
+	} else {
+		snapshot = s.ust
+	}
+	s.txSeq++
+	id := wire.NewTxID(s.self.DC, s.self.Partition(), s.txSeq)
+	s.txCtx[id] = txContext{snapshot: snapshot, started: time.Now()}
+	s.metrics.txStarted.Add(1)
+	return wire.StartTxResp{TxID: id, Snapshot: snapshot}
+}
+
+// handleFinishTx discards the context of a read-only transaction.
+func (s *Server) handleFinishTx(m wire.FinishTx) {
+	s.mu.Lock()
+	delete(s.txCtx, m.TxID)
+	s.mu.Unlock()
+}
+
+// handleRead implements Alg. 2 lines 6–16: group keys by partition, read all
+// partitions in parallel (choosing a local replica when one exists, else the
+// preferred remote replica), merge the slices.
+func (s *Server) handleRead(req wire.ReadReq) wire.Message {
+	s.mu.Lock()
+	ctx, ok := s.txCtx[req.TxID]
+	s.mu.Unlock()
+	if !ok {
+		return wire.ErrorResp{Code: wire.CodeUnknownTx, Msg: "read: unknown transaction " + req.TxID.String()}
+	}
+
+	byPartition := make(map[topology.PartitionID][]string)
+	for _, k := range req.Keys {
+		p := s.cfg.Topology.PartitionOf(k)
+		byPartition[p] = append(byPartition[p], k)
+	}
+
+	var (
+		mu    sync.Mutex
+		items []wire.Item
+		errs  []error
+		wg    sync.WaitGroup
+	)
+	for p, keys := range byPartition {
+		wg.Add(1)
+		go func(p topology.PartitionID, keys []string) {
+			defer wg.Done()
+			slice, err := s.readSliceAt(p, keys, ctx.snapshot)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			items = append(items, slice...)
+		}(p, keys)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return wire.ErrorResp{Code: wire.CodeUnavailable, Msg: "read: " + errs[0].Error()}
+	}
+	s.metrics.readsServed.Add(uint64(len(req.Keys)))
+	return wire.ReadResp{Items: items}
+}
+
+// readSliceAt reads keys of one partition within the snapshot, either locally
+// (same server), in the local DC, or on the preferred remote replica.
+func (s *Server) readSliceAt(p topology.PartitionID, keys []string, snapshot hlc.Timestamp) ([]wire.Item, error) {
+	target := topology.ServerID(s.cfg.Selector.TargetDC(s.self.DC, p), p)
+	req := wire.ReadSliceReq{Keys: keys, Snapshot: snapshot}
+	if target == s.self {
+		// The coordinator's own partition serves the slice with a local call.
+		if s.cfg.Mode == ModeBlocking {
+			resp := s.handleReadSliceBlocking(req)
+			return sliceItems(resp)
+		}
+		return sliceItems(s.handleReadSlice(req))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), coordCallTimeout)
+	defer cancel()
+	resp, err := s.peer.Call(ctx, target, req)
+	if err != nil {
+		return nil, err
+	}
+	return sliceItems(resp)
+}
+
+func sliceItems(resp wire.Message) ([]wire.Item, error) {
+	switch m := resp.(type) {
+	case wire.ReadSliceResp:
+		return m.Items, nil
+	case wire.ErrorResp:
+		return nil, m.Err()
+	default:
+		return nil, wire.ErrorResp{Msg: "unexpected read-slice response"}.Err()
+	}
+}
+
+// handleCommit implements Alg. 2 lines 17–29: the two-phase commit. The
+// coordinator collects proposed prepare times from every partition touched by
+// the write-set, picks the maximum as the commit time, and notifies cohorts
+// and client.
+func (s *Server) handleCommit(req wire.CommitReq) wire.Message {
+	s.mu.Lock()
+	ctx, ok := s.txCtx[req.TxID]
+	s.mu.Unlock()
+	if !ok {
+		return wire.ErrorResp{Code: wire.CodeUnknownTx, Msg: "commit: unknown transaction " + req.TxID.String()}
+	}
+	if len(req.Writes) == 0 {
+		s.handleFinishTx(wire.FinishTx{TxID: req.TxID})
+		return wire.CommitResp{}
+	}
+
+	// ht ← max{ust, hwt}: the highest timestamp the client has observed.
+	ht := hlc.Max(ctx.snapshot, req.HWT)
+
+	byPartition := make(map[topology.PartitionID][]wire.KV)
+	for _, kv := range req.Writes {
+		p := s.cfg.Topology.PartitionOf(kv.Key)
+		byPartition[p] = append(byPartition[p], kv)
+	}
+
+	type target struct {
+		node topology.NodeID
+		kvs  []wire.KV
+	}
+	targets := make([]target, 0, len(byPartition))
+	for p, kvs := range byPartition {
+		node := topology.ServerID(s.cfg.Selector.TargetDC(s.self.DC, p), p)
+		targets = append(targets, target{node: node, kvs: kvs})
+	}
+
+	// Prepare phase, in parallel across cohorts.
+	var (
+		mu       sync.Mutex
+		commitTS hlc.Timestamp
+		errs     []error
+		wg       sync.WaitGroup
+	)
+	for _, tgt := range targets {
+		wg.Add(1)
+		go func(tgt target) {
+			defer wg.Done()
+			prep := wire.PrepareReq{TxID: req.TxID, Snapshot: ctx.snapshot, HT: ht, Writes: tgt.kvs}
+			var (
+				resp wire.Message
+				err  error
+			)
+			if tgt.node == s.self {
+				resp = s.handlePrepare(prep)
+			} else {
+				cctx, cancel := context.WithTimeout(context.Background(), coordCallTimeout)
+				defer cancel()
+				resp, err = s.peer.Call(cctx, tgt.node, prep)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			switch m := resp.(type) {
+			case wire.PrepareResp:
+				if m.Proposed > commitTS {
+					commitTS = m.Proposed
+				}
+			case wire.ErrorResp:
+				errs = append(errs, m.Err())
+			}
+		}(tgt)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		// The paper does not consider aborts; the only prepare failures here
+		// are infrastructure ones (peer down / shutdown). Surface them.
+		return wire.ErrorResp{Code: wire.CodeUnavailable, Msg: "commit: " + errs[0].Error()}
+	}
+
+	// Commit phase: notify cohorts (no ack needed) and answer the client.
+	for _, tgt := range targets {
+		cc := wire.CohortCommit{TxID: req.TxID, CommitTS: commitTS}
+		if tgt.node == s.self {
+			s.handleCohortCommit(cc)
+			continue
+		}
+		// Lossless FIFO links: the cast arrives after the cohort's prepare
+		// insert, which happened before its PrepareResp.
+		_ = s.peer.Cast(tgt.node, cc)
+	}
+
+	s.mu.Lock()
+	delete(s.txCtx, req.TxID)
+	s.mu.Unlock()
+	s.metrics.txCommitted.Add(1)
+	return wire.CommitResp{CommitTS: commitTS}
+}

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/store"
+	"github.com/paris-kv/paris/internal/topology"
+)
+
+// Introspection accessors used by tests, benchmarks and operational tooling.
+// None of them participate in the protocol.
+
+// UST returns the server's current universal stable time.
+func (s *Server) UST() hlc.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ust
+}
+
+// Sold returns the garbage-collection watermark (oldest active snapshot the
+// stabilization protocol has agreed on).
+func (s *Server) Sold() hlc.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sold
+}
+
+// VersionVector returns a copy of the server's version vector, keyed by the
+// replica DCs of its partition.
+func (s *Server) VersionVector() map[topology.DCID]hlc.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[topology.DCID]hlc.Timestamp, len(s.vv))
+	for dc, ts := range s.vv {
+		out[dc] = ts
+	}
+	return out
+}
+
+// InstalledLowerBound returns the timestamp below which every transaction is
+// applied on this partition (the version-vector minimum).
+func (s *Server) InstalledLowerBound() hlc.Timestamp {
+	return s.installedLowerBound()
+}
+
+// Store exposes the underlying multi-version store for examples, benchmarks
+// and invariant checks.
+func (s *Server) Store() *store.MVStore { return s.store }
+
+// PendingPrepared returns the number of transactions in the prepared queue.
+func (s *Server) PendingPrepared() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.prepared)
+}
+
+// PendingCommitted returns the number of committed-but-unapplied
+// transactions.
+func (s *Server) PendingCommitted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.committed)
+}
+
+// ActiveTxContexts returns the number of live coordinator transaction
+// contexts.
+func (s *Server) ActiveTxContexts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.txCtx)
+}
+
+// ClockNow ticks and returns the server's hybrid logical clock; test-only.
+func (s *Server) ClockNow() hlc.Timestamp { return s.clock.Now() }

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics counts server-side protocol events. All fields are monotonically
+// increasing; Snapshot returns a consistent copy.
+type Metrics struct {
+	txStarted    atomic.Uint64
+	txCommitted  atomic.Uint64
+	txApplied    atomic.Uint64
+	readsServed  atomic.Uint64
+	slicesServed atomic.Uint64
+	prepares     atomic.Uint64
+	replGroups   atomic.Uint64
+	gcRemoved    atomic.Uint64
+
+	blockMu    sync.Mutex
+	blockCount uint64
+	blockFree  uint64
+	blockTotal time.Duration
+}
+
+// observeBlocking tallies whether a BPR read had to wait and for how long.
+func (m *Metrics) observeBlocking(waited time.Duration) {
+	m.blockMu.Lock()
+	if waited > 0 {
+		m.blockCount++
+		m.blockTotal += waited
+	} else {
+		m.blockFree++
+	}
+	m.blockMu.Unlock()
+}
+
+// MetricsSnapshot is a point-in-time copy of a server's counters.
+type MetricsSnapshot struct {
+	TxStarted      uint64        // transactions started (coordinator role)
+	TxCommitted    uint64        // update transactions committed (coordinator role)
+	TxApplied      uint64        // transactions applied to the local store
+	ReadsServed    uint64        // keys served through coordinator reads
+	SlicesServed   uint64        // read-slice requests served (cohort role)
+	Prepares       uint64        // 2PC prepares processed (cohort role)
+	ReplGroups     uint64        // replication groups received
+	GCRemoved      uint64        // versions removed by garbage collection
+	ReadsBlocked   uint64        // BPR slice reads that had to wait
+	ReadsUnblocked uint64        // BPR slice reads served without waiting
+	BlockedTotal   time.Duration // cumulative BPR read blocking time
+}
+
+// Metrics returns a snapshot of the server's counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	s.metrics.blockMu.Lock()
+	blocked, free, total := s.metrics.blockCount, s.metrics.blockFree, s.metrics.blockTotal
+	s.metrics.blockMu.Unlock()
+	return MetricsSnapshot{
+		TxStarted:      s.metrics.txStarted.Load(),
+		TxCommitted:    s.metrics.txCommitted.Load(),
+		TxApplied:      s.metrics.txApplied.Load(),
+		ReadsServed:    s.metrics.readsServed.Load(),
+		SlicesServed:   s.metrics.slicesServed.Load(),
+		Prepares:       s.metrics.prepares.Load(),
+		ReplGroups:     s.metrics.replGroups.Load(),
+		GCRemoved:      s.metrics.gcRemoved.Load(),
+		ReadsBlocked:   blocked,
+		ReadsUnblocked: free,
+		BlockedTotal:   total,
+	}
+}

@@ -1,0 +1,385 @@
+// Package server implements the PaRiS partition server: Algorithms 2, 3 and 4
+// of the paper. Each Server hosts one replica of one partition in one data
+// center and plays three roles at once:
+//
+//   - transaction coordinator (Alg. 2): assigns snapshots, fans out parallel
+//     reads, and drives the two-phase commit;
+//   - transaction cohort (Alg. 3): serves snapshot reads and participates in
+//     2PC for the keys it stores;
+//   - replication and stabilization participant (Alg. 4): applies committed
+//     transactions in timestamp order, replicates them to peer replicas,
+//     and gossips version-vector minima so the Universal Stable Time (UST)
+//     advances.
+//
+// The same code base also implements the paper's baseline, BPR (Blocking
+// Partial Replication, §V): in ModeBlocking the snapshot comes from the
+// coordinator's clock instead of the UST and cohort reads block until the
+// partition has installed the snapshot.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/paris-kv/paris/internal/clock"
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/store"
+	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/transport"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// Mode selects the read-visibility protocol.
+type Mode uint8
+
+const (
+	// ModeNonBlocking is PaRiS: transactions read from the UST-stable
+	// snapshot and never block.
+	ModeNonBlocking Mode = iota + 1
+	// ModeBlocking is the BPR baseline: fresher snapshots, blocking reads.
+	ModeBlocking
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeNonBlocking:
+		return "paris"
+	case ModeBlocking:
+		return "bpr"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// ID is the server's identity (DC + partition). Required.
+	ID topology.NodeID
+	// Topology describes the deployment. Required.
+	Topology *topology.Topology
+	// Mode selects PaRiS or the BPR baseline. Default ModeNonBlocking.
+	Mode Mode
+	// Selector chooses remote replicas for reads and prepares. Defaults to a
+	// PreferredSelector seeded by the server's DC.
+	Selector topology.Selector
+	// Clock is the physical time source. Defaults to the system clock.
+	Clock clock.Source
+	// ApplyInterval is ΔR: the cadence of the apply/replicate loop.
+	ApplyInterval time.Duration
+	// GossipInterval is ΔG: the cadence of intra-DC aggregation and
+	// inter-DC root exchange.
+	GossipInterval time.Duration
+	// USTInterval is ΔU: the cadence at which roots compute and push the UST.
+	USTInterval time.Duration
+	// GCInterval is the cadence of version-chain garbage collection;
+	// 0 disables GC.
+	GCInterval time.Duration
+	// TxContextTTL bounds how long an abandoned transaction context survives
+	// on its coordinator (§III-C: contexts of failed clients are cleaned in
+	// the background after a timeout).
+	TxContextTTL time.Duration
+	// VisibilitySample records every k-th applied version for update
+	// visibility latency measurement (Fig. 4); 0 disables tracking.
+	VisibilitySample int
+	// ResolverFor selects a custom conflict resolver per key (§II-B allows
+	// any commutative, associative merge). nil — or a nil return for a key —
+	// selects plain last-writer-wins.
+	ResolverFor func(key string) store.Resolver
+}
+
+// Defaults mirror the paper's 5 ms stabilization cadence.
+const (
+	defaultApplyInterval  = 5 * time.Millisecond
+	defaultGossipInterval = 5 * time.Millisecond
+	defaultUSTInterval    = 5 * time.Millisecond
+	defaultTxContextTTL   = 30 * time.Second
+)
+
+func (c *Config) withDefaults() (Config, error) {
+	cfg := *c
+	if cfg.Topology == nil {
+		return cfg, errors.New("server: config requires a topology")
+	}
+	if cfg.ID.Role != topology.RoleServer {
+		return cfg, fmt.Errorf("server: id %v is not a server identity", cfg.ID)
+	}
+	if !cfg.Topology.IsReplicatedAt(cfg.ID.Partition(), cfg.ID.DC) {
+		return cfg, fmt.Errorf("server: DC %d does not replicate partition %d",
+			cfg.ID.DC, cfg.ID.Partition())
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeNonBlocking
+	}
+	if cfg.Selector == nil {
+		cfg.Selector = topology.NewPreferredSelector(cfg.Topology, int32(cfg.ID.DC))
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System{}
+	}
+	if cfg.ApplyInterval <= 0 {
+		cfg.ApplyInterval = defaultApplyInterval
+	}
+	if cfg.GossipInterval <= 0 {
+		cfg.GossipInterval = defaultGossipInterval
+	}
+	if cfg.USTInterval <= 0 {
+		cfg.USTInterval = defaultUSTInterval
+	}
+	if cfg.TxContextTTL <= 0 {
+		cfg.TxContextTTL = defaultTxContextTTL
+	}
+	return cfg, nil
+}
+
+// preparedTx is an entry of the pending (Prepared) queue.
+type preparedTx struct {
+	id     wire.TxID
+	pt     hlc.Timestamp
+	srcDC  topology.DCID
+	writes []wire.KV
+}
+
+// committedTx is an entry of the Committed queue, waiting to be applied.
+type committedTx struct {
+	id     wire.TxID
+	ct     hlc.Timestamp
+	srcDC  topology.DCID
+	writes []wire.KV
+}
+
+// txContext is the coordinator-side state of a running transaction.
+type txContext struct {
+	snapshot hlc.Timestamp
+	started  time.Time
+}
+
+// Server is one partition replica. Construct with New, wire it to a network
+// (Peer / Network.Register), then Start it.
+type Server struct {
+	cfg   Config
+	self  topology.NodeID
+	clock *hlc.Clock
+	store *store.MVStore
+	peer  *transport.Peer
+
+	mu sync.Mutex
+	// vv is the version vector V V(m,n): one entry per DC replicating this
+	// partition; vv[own DC] is the local version clock (Alg. 4).
+	vv map[topology.DCID]hlc.Timestamp
+	// ust is the server's universal stable time (ust m n).
+	ust hlc.Timestamp
+	// sold is the garbage-collection watermark (oldest active snapshot).
+	sold     hlc.Timestamp
+	prepared map[wire.TxID]*preparedTx
+	// committed holds transactions whose commit timestamp is known but whose
+	// writes have not been applied to the store yet.
+	committed []committedTx
+	txCtx     map[wire.TxID]txContext
+	txSeq     uint64
+
+	stab    stabilizer
+	waiters []installWaiter
+	vis     *visibilityTracker
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopped   chan struct{}
+	loopWG    sync.WaitGroup // background loops
+	reqWG     sync.WaitGroup // in-flight request goroutines
+
+	metrics Metrics
+}
+
+// New validates cfg and builds a Server. The returned server is inert until
+// Start is called; its Peer must be registered with a transport first.
+func New(cfg Config) (*Server, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      full,
+		self:     full.ID,
+		clock:    hlc.NewClock(full.Clock),
+		store:    store.New(),
+		vv:       make(map[topology.DCID]hlc.Timestamp),
+		prepared: make(map[wire.TxID]*preparedTx),
+		txCtx:    make(map[wire.TxID]txContext),
+		stopped:  make(chan struct{}),
+	}
+	for _, dc := range full.Topology.ReplicaDCs(full.ID.Partition()) {
+		s.vv[dc] = 0
+	}
+	s.stab.init(s)
+	if full.VisibilitySample > 0 {
+		s.vis = newVisibilityTracker(full.VisibilitySample)
+	}
+	s.peer = transport.NewPeer(full.ID, s)
+	return s, nil
+}
+
+// Peer returns the transport peer to register with a Network:
+//
+//	ep, _ := net.Register(srv.ID(), srv.Peer())
+//	srv.Peer().Attach(ep)
+func (s *Server) Peer() *transport.Peer { return s.peer }
+
+// ID returns the server's node identity.
+func (s *Server) ID() topology.NodeID { return s.self }
+
+// Mode returns the visibility protocol the server runs.
+func (s *Server) Mode() Mode { return s.cfg.Mode }
+
+// Start launches the background protocol loops. It is idempotent.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		s.runLoop(s.cfg.ApplyInterval, s.applyTick)
+		s.runLoop(s.cfg.GossipInterval, s.stab.gossipTick)
+		if s.stab.isRoot {
+			s.runLoop(s.cfg.USTInterval, s.stab.ustTick)
+		}
+		if s.cfg.GCInterval > 0 {
+			s.runLoop(s.cfg.GCInterval, s.gcTick)
+		}
+		s.runLoop(s.cfg.TxContextTTL/2, s.ctxCleanupTick)
+	})
+}
+
+// Stop terminates the background loops and waits for in-flight request
+// handlers. It is idempotent and safe to call before Start.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stopped)
+		s.notifyInstalled(hlc.MaxTimestamp) // release blocked BPR readers
+	})
+	s.loopWG.Wait()
+	s.reqWG.Wait()
+	s.peer.Close()
+}
+
+// runLoop starts a ticker-driven background loop bound to the stop channel.
+func (s *Server) runLoop(interval time.Duration, tick func()) {
+	s.loopWG.Add(1)
+	go func() {
+		defer s.loopWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stopped:
+				return
+			case <-t.C:
+				tick()
+			}
+		}
+	}()
+}
+
+func (s *Server) isStopped() bool {
+	select {
+	case <-s.stopped:
+		return true
+	default:
+		return false
+	}
+}
+
+// HandleRequest implements transport.RequestHandler. Quick operations are
+// served inline on the delivery goroutine; operations that fan out to other
+// nodes (coordinator reads and commits) or may block (BPR cohort reads) are
+// moved to their own goroutine so links never stall.
+func (s *Server) HandleRequest(from topology.NodeID, req wire.Message, reply func(wire.Message)) {
+	if s.isStopped() {
+		reply(wire.ErrorResp{Code: wire.CodeShuttingDown, Msg: "server stopped"})
+		return
+	}
+	switch m := req.(type) {
+	case wire.StartTxReq:
+		reply(s.handleStartTx(m))
+	case wire.ReadReq:
+		s.spawn(func() { reply(s.handleRead(m)) })
+	case wire.CommitReq:
+		s.spawn(func() { reply(s.handleCommit(m)) })
+	case wire.ReadSliceReq:
+		if s.cfg.Mode == ModeBlocking {
+			s.spawn(func() { reply(s.handleReadSliceBlocking(m)) })
+		} else {
+			reply(s.handleReadSlice(m))
+		}
+	case wire.PrepareReq:
+		reply(s.handlePrepare(m))
+	default:
+		reply(wire.ErrorResp{Code: wire.CodeUnknownTx,
+			Msg: fmt.Sprintf("unexpected request %v", req.Kind())})
+	}
+}
+
+// HandleCast implements transport.RequestHandler.
+func (s *Server) HandleCast(from topology.NodeID, msg wire.Message) {
+	if s.isStopped() {
+		return
+	}
+	switch m := msg.(type) {
+	case wire.CohortCommit:
+		s.handleCohortCommit(m)
+	case wire.Replicate:
+		s.handleReplicate(m)
+	case wire.Heartbeat:
+		s.handleHeartbeat(m)
+	case wire.FinishTx:
+		s.handleFinishTx(m)
+	case wire.GSTUp:
+		s.stab.handleUp(from, m)
+	case wire.GSTRoot:
+		s.stab.handleRoot(m)
+	case wire.USTDown:
+		s.stab.handleDown(m)
+	}
+}
+
+func (s *Server) spawn(fn func()) {
+	s.reqWG.Add(1)
+	go func() {
+		defer s.reqWG.Done()
+		fn()
+	}()
+}
+
+// gcTick trims version chains below the globally agreed oldest active
+// snapshot, folding rather than dropping versions of keys governed by a
+// chain-derived resolver (counters, sets).
+func (s *Server) gcTick() {
+	s.mu.Lock()
+	watermark := s.sold
+	s.mu.Unlock()
+	if watermark == 0 {
+		return
+	}
+	var removed int
+	if s.cfg.ResolverFor != nil {
+		removed = s.store.GCResolve(watermark, s.cfg.ResolverFor)
+	} else {
+		removed = s.store.GC(watermark)
+	}
+	if removed > 0 {
+		s.metrics.gcRemoved.Add(uint64(removed))
+	}
+}
+
+// ctxCleanupTick drops transaction contexts abandoned by failed clients.
+func (s *Server) ctxCleanupTick() {
+	cutoff := time.Now().Add(-s.cfg.TxContextTTL)
+	s.mu.Lock()
+	for id, ctx := range s.txCtx {
+		if ctx.started.Before(cutoff) {
+			delete(s.txCtx, id)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Compile-time interface compliance.
+var _ transport.RequestHandler = (*Server)(nil)

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"sync"
+
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// This file implements the UST stabilization protocol (§III-B "UST", §IV-B
+// "Stabilization protocol"). Within each data center the partitions form a
+// binary tree; every ΔG each node pushes the element-wise minimum of its own
+// version vector and its children's aggregates toward the root. Roots
+// exchange their per-DC aggregates (the Global Stabilization Vectors), and
+// every ΔU compute the universal stable time — the minimum version-vector
+// entry anywhere in the system — and push it back down their trees.
+//
+// The same tree aggregates the oldest active transaction snapshot, which
+// becomes the garbage-collection watermark Sold (§IV-B "Garbage collection").
+
+// stabilizer holds the per-server stabilization state. It is embedded in
+// Server and shares its lifecycle; its own mutex guards only gossip state so
+// gossip never contends with the transaction path.
+type stabilizer struct {
+	srv       *Server
+	isRoot    bool
+	hasParent bool
+	parent    topology.NodeID
+	children  []topology.NodeID
+	// participants are the DCs that host at least one partition and hence
+	// take part in the UST exchange.
+	participants []topology.DCID
+	remoteRoots  []topology.NodeID
+	numDCs       int
+
+	mu           sync.Mutex
+	childVec     map[topology.NodeID][]hlc.Timestamp
+	childOldest  map[topology.NodeID]hlc.Timestamp
+	remoteVec    map[topology.DCID][]hlc.Timestamp
+	remoteOldest map[topology.DCID]hlc.Timestamp
+}
+
+// init computes the server's position in its DC's aggregation tree.
+func (st *stabilizer) init(s *Server) {
+	st.srv = s
+	st.numDCs = s.cfg.Topology.NumDCs()
+	st.childVec = make(map[topology.NodeID][]hlc.Timestamp)
+	st.childOldest = make(map[topology.NodeID]hlc.Timestamp)
+	st.remoteVec = make(map[topology.DCID][]hlc.Timestamp)
+	st.remoteOldest = make(map[topology.DCID]hlc.Timestamp)
+
+	local := s.cfg.Topology.PartitionsAt(s.self.DC) // ascending
+	idx := -1
+	for i, p := range local {
+		if p == s.self.Partition() {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		// New() already validated replication; unreachable.
+		idx = 0
+	}
+	st.isRoot = idx == 0
+	if idx > 0 {
+		st.hasParent = true
+		st.parent = topology.ServerID(s.self.DC, local[(idx-1)/2])
+	}
+	for _, c := range []int{2*idx + 1, 2*idx + 2} {
+		if c < len(local) {
+			st.children = append(st.children, topology.ServerID(s.self.DC, local[c]))
+		}
+	}
+	if st.isRoot {
+		for _, dc := range s.cfg.Topology.AllDCs() {
+			ps := s.cfg.Topology.PartitionsAt(dc)
+			if len(ps) == 0 {
+				continue // a DC with no partitions has no servers to gossip with
+			}
+			st.participants = append(st.participants, dc)
+			if dc != s.self.DC {
+				st.remoteRoots = append(st.remoteRoots, topology.ServerID(dc, ps[0]))
+			}
+		}
+	}
+}
+
+// localContribution builds this partition's slice of the GSV: entry j is the
+// version-vector entry tracking DC j when this partition is replicated
+// there, or +∞ (MaxTimestamp) when it is not — undefined entries never
+// constrain the minimum. It also reports the partition's oldest active
+// snapshot (or its current UST when no transaction is running).
+func (st *stabilizer) localContribution() ([]hlc.Timestamp, hlc.Timestamp) {
+	s := st.srv
+	vec := make([]hlc.Timestamp, st.numDCs)
+	for i := range vec {
+		vec[i] = hlc.MaxTimestamp
+	}
+	s.mu.Lock()
+	for dc, ts := range s.vv {
+		vec[dc] = ts
+	}
+	oldest := s.ust
+	for _, ctx := range s.txCtx {
+		if ctx.snapshot < oldest {
+			oldest = ctx.snapshot
+		}
+	}
+	s.mu.Unlock()
+	return vec, oldest
+}
+
+// gossipTick runs every ΔG on every server: aggregate the subtree and push
+// toward the root; the root additionally broadcasts its DC aggregate to the
+// other DC roots.
+func (st *stabilizer) gossipTick() {
+	vec, oldest := st.aggregateSubtree()
+	if st.hasParent {
+		_ = st.srv.peer.Cast(st.parent, wire.GSTUp{Vec: vec, Oldest: oldest})
+		return
+	}
+	// Root: remember the DC aggregate and share it with the other roots.
+	st.mu.Lock()
+	st.remoteVec[st.srv.self.DC] = vec
+	st.remoteOldest[st.srv.self.DC] = oldest
+	st.mu.Unlock()
+	msg := wire.GSTRoot{DC: st.srv.self.DC, Vec: vec, Oldest: oldest}
+	for _, root := range st.remoteRoots {
+		_ = st.srv.peer.Cast(root, msg)
+	}
+}
+
+// aggregateSubtree folds the node's own contribution with the last-known
+// child aggregates.
+func (st *stabilizer) aggregateSubtree() ([]hlc.Timestamp, hlc.Timestamp) {
+	vec, oldest := st.localContribution()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, child := range st.children {
+		cv, ok := st.childVec[child]
+		if !ok {
+			// No aggregate from this child yet: its subtree may hold entries
+			// at 0, so the subtree minimum cannot exceed 0.
+			for i := range vec {
+				vec[i] = 0
+			}
+			oldest = 0
+			continue
+		}
+		for i := range vec {
+			if cv[i] < vec[i] {
+				vec[i] = cv[i]
+			}
+		}
+		if co := st.childOldest[child]; co < oldest {
+			oldest = co
+		}
+	}
+	return vec, oldest
+}
+
+// handleUp stores a child's subtree aggregate.
+func (st *stabilizer) handleUp(from topology.NodeID, m wire.GSTUp) {
+	if len(m.Vec) != st.numDCs {
+		return // malformed; ignore
+	}
+	st.mu.Lock()
+	st.childVec[from] = m.Vec
+	st.childOldest[from] = m.Oldest
+	st.mu.Unlock()
+}
+
+// handleRoot stores a remote DC root's aggregate (GSV exchange).
+func (st *stabilizer) handleRoot(m wire.GSTRoot) {
+	if len(m.Vec) != st.numDCs {
+		return
+	}
+	st.mu.Lock()
+	st.remoteVec[m.DC] = m.Vec
+	st.remoteOldest[m.DC] = m.Oldest
+	st.mu.Unlock()
+}
+
+// ustTick runs every ΔU on roots only (Alg. 4 lines 36–38): the UST is the
+// minimum defined entry across every DC's aggregate. If any participating
+// DC has not reported yet the minimum is unknown and the UST cannot advance
+// — which is also exactly the availability behaviour of §III-C: a
+// partitioned DC freezes the UST everywhere.
+func (st *stabilizer) ustTick() {
+	st.mu.Lock()
+	minGST := hlc.MaxTimestamp
+	oldest := hlc.MaxTimestamp
+	complete := true
+	for _, dc := range st.participants {
+		vec, ok := st.remoteVec[dc]
+		if !ok {
+			complete = false
+			break
+		}
+		for _, ts := range vec {
+			if ts < minGST {
+				minGST = ts
+			}
+		}
+		if o := st.remoteOldest[dc]; o < oldest {
+			oldest = o
+		}
+	}
+	st.mu.Unlock()
+	if !complete || minGST == hlc.MaxTimestamp {
+		return
+	}
+	st.srv.applyStable(minGST, oldest)
+	st.pushDown(wire.USTDown{UST: minGST, Sold: oldest})
+}
+
+// handleDown applies a UST/Sold announcement and forwards it down the tree.
+func (st *stabilizer) handleDown(m wire.USTDown) {
+	st.srv.applyStable(m.UST, m.Sold)
+	st.pushDown(m)
+}
+
+func (st *stabilizer) pushDown(m wire.USTDown) {
+	for _, child := range st.children {
+		_ = st.srv.peer.Cast(child, m)
+	}
+}
+
+// applyStable folds freshly computed stable values into the server state.
+// Both are forced monotonic: gossip rounds may arrive reordered relative to
+// computation (ust mn ← max{minGST, ust mn}).
+func (s *Server) applyStable(ust, sold hlc.Timestamp) {
+	s.mu.Lock()
+	if ust > s.ust {
+		s.ust = ust
+	}
+	if sold > s.sold {
+		s.sold = sold
+	}
+	s.drainVisibilityLocked()
+	s.mu.Unlock()
+}

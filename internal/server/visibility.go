@@ -1,0 +1,110 @@
+package server
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"github.com/paris-kv/paris/internal/hlc"
+)
+
+// This file measures update visibility latency (§V-E): the wall-clock delay
+// between an update committing in its origin DC and becoming visible on this
+// server. In PaRiS a version with commit time ct becomes visible when the
+// server's UST reaches ct; in BPR, when the installed lower bound (the
+// version-vector minimum) reaches ct — the earliest moment a blocking read
+// can return it.
+//
+// The commit wall-clock time is recovered from the timestamp itself: hybrid
+// logical clocks carry physical milliseconds, so ct.Physical() is the commit
+// time up to clock skew — the same approximation NTP gives the paper.
+
+// visibilityTracker samples applied versions and records their visibility
+// latency once the relevant bound passes them.
+type visibilityTracker struct {
+	sample int // record every sample-th applied version
+
+	mu      sync.Mutex
+	counter int
+	pending tsHeap
+	// latencies accumulates observed visibility latencies.
+	latencies []time.Duration
+}
+
+func newVisibilityTracker(sample int) *visibilityTracker {
+	return &visibilityTracker{sample: sample}
+}
+
+// recordCommit notes an applied version's commit timestamp (sampled).
+func (v *visibilityTracker) recordCommit(ct hlc.Timestamp) {
+	v.mu.Lock()
+	v.counter++
+	if v.counter%v.sample == 0 {
+		heap.Push(&v.pending, ct)
+	}
+	v.mu.Unlock()
+}
+
+// drain records visibility latency for every pending version the bound has
+// passed.
+func (v *visibilityTracker) drain(bound hlc.Timestamp) {
+	nowMs := uint64(time.Now().UnixMilli())
+	v.mu.Lock()
+	for v.pending.Len() > 0 && v.pending[0] <= bound {
+		ct := heap.Pop(&v.pending).(hlc.Timestamp)
+		commitMs := ct.Physical()
+		var lat time.Duration
+		if nowMs > commitMs {
+			lat = time.Duration(nowMs-commitMs) * time.Millisecond
+		}
+		v.latencies = append(v.latencies, lat)
+	}
+	v.mu.Unlock()
+}
+
+// take returns and clears the recorded latencies.
+func (v *visibilityTracker) take() []time.Duration {
+	v.mu.Lock()
+	out := v.latencies
+	v.latencies = nil
+	v.mu.Unlock()
+	return out
+}
+
+// drainVisibilityLocked updates the tracker with the mode-appropriate
+// visibility bound. Caller holds s.mu.
+func (s *Server) drainVisibilityLocked() {
+	if s.vis == nil {
+		return
+	}
+	bound := s.ust
+	if s.cfg.Mode == ModeBlocking {
+		bound = s.installedLowerBoundLocked()
+	}
+	s.vis.drain(bound)
+}
+
+// VisibilityLatencies returns and clears the sampled update visibility
+// latencies recorded since the last call (empty unless
+// Config.VisibilitySample > 0).
+func (s *Server) VisibilityLatencies() []time.Duration {
+	if s.vis == nil {
+		return nil
+	}
+	return s.vis.take()
+}
+
+// tsHeap is a min-heap of timestamps.
+type tsHeap []hlc.Timestamp
+
+func (h tsHeap) Len() int            { return len(h) }
+func (h tsHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h tsHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *tsHeap) Push(x interface{}) { *h = append(*h, x.(hlc.Timestamp)) }
+func (h *tsHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

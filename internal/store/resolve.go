@@ -1,0 +1,81 @@
+package store
+
+import (
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// Resolver merges a key's visible versions into its value; package crdt
+// provides implementations (LWW, Counter, GSet). The interface is declared
+// here so the store does not depend on crdt. Version slices handed to
+// resolvers are ordered newest-first.
+type Resolver interface {
+	Merge(visible []wire.Item) []byte
+	Compact(victims []wire.Item) wire.Item
+}
+
+// ReadResolved returns the key's value at the snapshot under a custom
+// conflict resolver: the merge of every version with UT ≤ snapshot. The
+// returned item carries the newest visible version's identity (timestamp,
+// transaction, source DC) with the merged value.
+func (s *MVStore) ReadResolved(key string, snapshot hlc.Timestamp, r Resolver) (wire.Item, bool) {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	chain := sh.chains[key]
+	visible := make([]wire.Item, 0, len(chain))
+	for i := len(chain) - 1; i >= 0; i-- { // newest first
+		if chain[i].UT <= snapshot {
+			visible = append(visible, chain[i])
+		}
+	}
+	sh.mu.RUnlock()
+	if len(visible) == 0 {
+		return wire.Item{}, false
+	}
+	out := visible[0]
+	out.Value = r.Merge(visible)
+	return out, true
+}
+
+// GCResolve trims version chains below the oldest active snapshot like GC,
+// but instead of discarding unreachable versions it folds them — per key —
+// through the key's resolver, preserving merge semantics for resolvers that
+// derive values from the whole chain (counters, sets). resolverFor returns
+// the resolver governing a key; returning nil selects plain last-writer-wins
+// trimming. It reports the number of versions eliminated.
+func (s *MVStore) GCResolve(oldest hlc.Timestamp, resolverFor func(key string) Resolver) int {
+	removed := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for key, chain := range sh.chains {
+			cut := newestAtOrBelow(chain, oldest)
+			if cut <= 0 {
+				// Either no version is covered by the watermark, or the
+				// covered one is already the oldest: nothing to collect.
+				continue
+			}
+			r := resolverFor(key)
+			if r == nil {
+				removed += cut
+				sh.chains[key] = append([]wire.Item(nil), chain[cut:]...)
+				continue
+			}
+			// Fold everything up to and including the cut version into one
+			// summary stamped with the cut version's identity; pass victims
+			// newest-first per the Resolver contract.
+			victims := make([]wire.Item, 0, cut+1)
+			for j := cut; j >= 0; j-- {
+				victims = append(victims, chain[j])
+			}
+			summary := r.Compact(victims)
+			removed += cut
+			newChain := make([]wire.Item, 0, len(chain)-cut)
+			newChain = append(newChain, summary)
+			newChain = append(newChain, chain[cut+1:]...)
+			sh.chains[key] = newChain
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}

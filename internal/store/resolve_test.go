@@ -1,0 +1,135 @@
+package store
+
+import (
+	"testing"
+
+	"github.com/paris-kv/paris/internal/crdt"
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+func counterItem(key string, ut, tx uint64, delta int64) wire.Item {
+	return wire.Item{Key: key, Value: crdt.EncodeDelta(delta),
+		UT: hlc.Timestamp(ut), TxID: wire.TxID(tx)}
+}
+
+func TestReadResolvedSumsVisibleDeltas(t *testing.T) {
+	s := New()
+	s.Apply(counterItem("c", 10, 1, 5))
+	s.Apply(counterItem("c", 20, 2, 10))
+	s.Apply(counterItem("c", 30, 3, -2))
+
+	cases := []struct {
+		snap uint64
+		want int64
+		ok   bool
+	}{
+		{5, 0, false},
+		{10, 5, true},
+		{20, 15, true},
+		{25, 15, true},
+		{30, 13, true},
+		{99, 13, true},
+	}
+	for _, c := range cases {
+		item, ok := s.ReadResolved("c", hlc.Timestamp(c.snap), crdt.Counter{})
+		if ok != c.ok {
+			t.Fatalf("snap %d: ok=%v", c.snap, ok)
+		}
+		if ok && crdt.DecodeValue(item.Value) != c.want {
+			t.Fatalf("snap %d: sum=%d, want %d", c.snap, crdt.DecodeValue(item.Value), c.want)
+		}
+	}
+}
+
+func TestReadResolvedLWWMatchesPlainRead(t *testing.T) {
+	s := New()
+	s.Apply(item("k", 10, 1, 0, "a"))
+	s.Apply(item("k", 20, 2, 1, "b"))
+	plain, ok1 := s.Read("k", 15)
+	resolved, ok2 := s.ReadResolved("k", 15, crdt.LWW{})
+	if ok1 != ok2 || string(plain.Value) != string(resolved.Value) {
+		t.Fatalf("LWW resolver diverges from plain read: %q vs %q", plain.Value, resolved.Value)
+	}
+}
+
+func TestGCResolveCompactsCounters(t *testing.T) {
+	s := New()
+	for i := uint64(1); i <= 10; i++ {
+		s.Apply(counterItem("c", i*10, i, 1)) // ten +1 increments
+	}
+	before, _ := s.ReadResolved("c", hlc.MaxTimestamp, crdt.Counter{})
+	if crdt.DecodeValue(before.Value) != 10 {
+		t.Fatalf("pre-GC sum = %d", crdt.DecodeValue(before.Value))
+	}
+
+	counterFor := func(string) Resolver { return crdt.Counter{} }
+	removed := s.GCResolve(55, counterFor) // versions 10..50 fold into one
+	if removed == 0 {
+		t.Fatal("GC removed nothing")
+	}
+	if got := s.VersionCount("c"); got >= 10 {
+		t.Fatalf("GC left %d versions", got)
+	}
+
+	// The merged value is unchanged for every snapshot ≥ the watermark.
+	for _, snap := range []uint64{55, 60, 100, ^uint64(0)} {
+		after, ok := s.ReadResolved("c", hlc.Timestamp(snap), crdt.Counter{})
+		if !ok {
+			t.Fatalf("snap %d: counter vanished", snap)
+		}
+		want := int64(10)
+		if snap < 100 {
+			want = int64(snap / 10) // snapshots below the newest versions
+		}
+		if got := crdt.DecodeValue(after.Value); got != want {
+			t.Fatalf("snap %d: sum=%d, want %d", snap, got, want)
+		}
+	}
+}
+
+func TestGCResolveNilResolverTrimsLWW(t *testing.T) {
+	s := New()
+	for i := uint64(1); i <= 5; i++ {
+		s.Apply(item("k", i*10, i, 0, "v"))
+	}
+	removed := s.GCResolve(35, func(string) Resolver { return nil })
+	if removed != 2 { // versions 10, 20 dropped, 30 kept
+		t.Fatalf("removed %d, want 2", removed)
+	}
+	got, ok := s.Read("k", 35)
+	if !ok || got.UT != 30 {
+		t.Fatalf("watermark read = %+v, %v", got, ok)
+	}
+}
+
+func TestGCResolveMixedKeys(t *testing.T) {
+	s := New()
+	for i := uint64(1); i <= 5; i++ {
+		s.Apply(counterItem("cnt:hits", i*10, i, 2))
+		s.Apply(item("plain", i*10, 100+i, 0, "v"))
+	}
+	resolverFor := func(key string) Resolver {
+		if key == "cnt:hits" {
+			return crdt.Counter{}
+		}
+		return nil
+	}
+	s.GCResolve(45, resolverFor)
+	cnt, _ := s.ReadResolved("cnt:hits", hlc.MaxTimestamp, crdt.Counter{})
+	if crdt.DecodeValue(cnt.Value) != 10 {
+		t.Fatalf("counter sum after mixed GC = %d", crdt.DecodeValue(cnt.Value))
+	}
+	plain, ok := s.Read("plain", hlc.MaxTimestamp)
+	if !ok || plain.UT != 50 {
+		t.Fatalf("plain key after mixed GC = %+v", plain)
+	}
+}
+
+func TestGCResolveNothingBelowWatermark(t *testing.T) {
+	s := New()
+	s.Apply(counterItem("c", 100, 1, 1))
+	if removed := s.GCResolve(50, func(string) Resolver { return crdt.Counter{} }); removed != 0 {
+		t.Fatalf("removed %d versions above watermark", removed)
+	}
+}

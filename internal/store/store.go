@@ -1,0 +1,187 @@
+// Package store implements the multi-version key-value storage engine each
+// partition server uses (§II-C: "We assume a multi-version data store. An
+// update operation creates a new version of a key."). Versions of a key form
+// a chain ordered by the total order (ut, idT, sr); snapshot reads return the
+// freshest version within the snapshot, and garbage collection trims versions
+// older than the system-wide oldest active snapshot.
+package store
+
+import (
+	"sync"
+
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// numShards spreads keys over independent locks; it must be a power of two.
+const numShards = 64
+
+// MVStore is a sharded multi-version store. The zero value is not usable;
+// construct with New. All methods are safe for concurrent use.
+//
+// Chains are kept in ascending (oldest → newest) order: commits on a
+// partition mostly arrive in timestamp order, so the common insert is an
+// O(1) amortized append at the tail, and snapshot reads scan backwards from
+// the tail.
+type MVStore struct {
+	shards [numShards]shard
+}
+
+type shard struct {
+	mu     sync.RWMutex
+	chains map[string][]wire.Item // ascending (ut, txid, sr) order
+}
+
+// New returns an empty store.
+func New() *MVStore {
+	s := &MVStore{}
+	for i := range s.shards {
+		s.shards[i].chains = make(map[string][]wire.Item)
+	}
+	return s
+}
+
+func (s *MVStore) shardFor(key string) *shard {
+	// FNV-1a, inlined to avoid allocating a hasher per access.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &s.shards[h&(numShards-1)]
+}
+
+// Apply inserts a version into its key's chain, keeping the chain sorted by
+// the (UT, TxID, SrcDC) total order. Re-applying an identical version is a
+// no-op, making replication delivery idempotent.
+func (s *MVStore) Apply(item wire.Item) {
+	sh := s.shardFor(item.Key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	chain := sh.chains[item.Key]
+	// Fast path: strictly newer than the tail (the common case).
+	if n := len(chain); n == 0 || chain[n-1].Less(item) {
+		sh.chains[item.Key] = append(chain, item)
+		return
+	}
+	// General path: scan backwards for the insertion point.
+	for i := len(chain) - 1; i >= 0; i-- {
+		v := &chain[i]
+		if v.UT == item.UT && v.TxID == item.TxID && v.SrcDC == item.SrcDC {
+			return // duplicate delivery
+		}
+		if v.Less(item) {
+			chain = append(chain, wire.Item{})
+			copy(chain[i+2:], chain[i+1:])
+			chain[i+1] = item
+			sh.chains[item.Key] = chain
+			return
+		}
+	}
+	// Older than everything present: becomes the new head.
+	chain = append(chain, wire.Item{})
+	copy(chain[1:], chain)
+	chain[0] = item
+	sh.chains[item.Key] = chain
+}
+
+// Read returns the freshest version of key with UT ≤ snapshot (Alg. 3
+// lines 4–7), and false if no version is visible.
+func (s *MVStore) Read(key string, snapshot hlc.Timestamp) (wire.Item, bool) {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	chain := sh.chains[key]
+	for i := len(chain) - 1; i >= 0; i-- { // newest first
+		if chain[i].UT <= snapshot {
+			return chain[i], true
+		}
+	}
+	return wire.Item{}, false
+}
+
+// ReadLatest returns the newest version of key regardless of snapshot, and
+// false if the key has never been written. Debug and example tooling use it;
+// the protocol itself always reads within a snapshot.
+func (s *MVStore) ReadLatest(key string) (wire.Item, bool) {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	chain := sh.chains[key]
+	if len(chain) == 0 {
+		return wire.Item{}, false
+	}
+	return chain[len(chain)-1], true
+}
+
+// VersionCount returns the number of stored versions of key.
+func (s *MVStore) VersionCount(key string) int {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.chains[key])
+}
+
+// Keys returns the number of distinct keys with at least one version.
+func (s *MVStore) Keys() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += len(sh.chains)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// Versions returns the total number of stored versions across all keys; the
+// garbage-collection tests and capacity experiments use it.
+func (s *MVStore) Versions() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, chain := range sh.chains {
+			total += len(chain)
+		}
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// GC removes versions that no active or future transaction can read: for
+// each key it keeps every version newer than oldest plus the single freshest
+// version with UT ≤ oldest (§IV-B "Garbage collection"). It returns the
+// number of versions removed.
+func (s *MVStore) GC(oldest hlc.Timestamp) int {
+	removed := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for key, chain := range sh.chains {
+			cut := newestAtOrBelow(chain, oldest)
+			if cut > 0 {
+				removed += cut
+				sh.chains[key] = append([]wire.Item(nil), chain[cut:]...)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}
+
+// newestAtOrBelow returns the index (in the ascending chain) of the newest
+// version with UT ≤ oldest, or -1 if none. Every version before that index
+// is unreachable by snapshots ≥ oldest.
+func newestAtOrBelow(chain []wire.Item, oldest hlc.Timestamp) int {
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i].UT <= oldest {
+			return i
+		}
+	}
+	return -1
+}

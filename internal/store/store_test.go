@@ -1,0 +1,320 @@
+package store
+
+import (
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+func item(key string, ut, tx uint64, dc int32, val string) wire.Item {
+	return wire.Item{
+		Key:   key,
+		Value: []byte(val),
+		UT:    hlc.Timestamp(ut),
+		TxID:  wire.TxID(tx),
+		SrcDC: topology.DCID(dc),
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	s := New()
+	if _, ok := s.Read("nope", hlc.MaxTimestamp); ok {
+		t.Fatal("read of missing key succeeded")
+	}
+	if _, ok := s.ReadLatest("nope"); ok {
+		t.Fatal("ReadLatest of missing key succeeded")
+	}
+	if s.Keys() != 0 || s.Versions() != 0 {
+		t.Fatal("empty store reports contents")
+	}
+}
+
+func TestSnapshotReadPicksFreshestVisible(t *testing.T) {
+	s := New()
+	s.Apply(item("x", 10, 1, 0, "v10"))
+	s.Apply(item("x", 20, 2, 0, "v20"))
+	s.Apply(item("x", 30, 3, 0, "v30"))
+
+	cases := []struct {
+		snap    uint64
+		want    string
+		visible bool
+	}{
+		{5, "", false},
+		{10, "v10", true},
+		{19, "v10", true},
+		{20, "v20", true},
+		{25, "v20", true},
+		{30, "v30", true},
+		{99, "v30", true},
+	}
+	for _, c := range cases {
+		got, ok := s.Read("x", hlc.Timestamp(c.snap))
+		if ok != c.visible {
+			t.Fatalf("snap %d: visible=%v, want %v", c.snap, ok, c.visible)
+		}
+		if ok && string(got.Value) != c.want {
+			t.Fatalf("snap %d: value=%q, want %q", c.snap, got.Value, c.want)
+		}
+	}
+}
+
+func TestApplyOutOfOrderMaintainsChainOrder(t *testing.T) {
+	s := New()
+	// Remote replication can deliver versions in any timestamp order across
+	// keys and even within a key (different source DCs).
+	s.Apply(item("x", 30, 3, 0, "v30"))
+	s.Apply(item("x", 10, 1, 0, "v10"))
+	s.Apply(item("x", 20, 2, 0, "v20"))
+	got, ok := s.Read("x", 25)
+	if !ok || string(got.Value) != "v20" {
+		t.Fatalf("Read(25) = %q, %v; want v20", got.Value, ok)
+	}
+	latest, _ := s.ReadLatest("x")
+	if string(latest.Value) != "v30" {
+		t.Fatalf("latest = %q, want v30", latest.Value)
+	}
+}
+
+func TestApplyDuplicateIsIdempotent(t *testing.T) {
+	s := New()
+	v := item("x", 10, 1, 0, "v")
+	s.Apply(v)
+	s.Apply(v)
+	s.Apply(v)
+	if got := s.VersionCount("x"); got != 1 {
+		t.Fatalf("VersionCount = %d, want 1 (idempotent apply)", got)
+	}
+}
+
+func TestConcurrentSameTimestampTotalOrder(t *testing.T) {
+	// Conflicting writes with equal timestamps are ordered by (TxID, SrcDC):
+	// last-writer-wins must be deterministic on every replica (§IV-B Read).
+	s1, s2 := New(), New()
+	a := item("x", 10, 5, 1, "fromDC1")
+	b := item("x", 10, 5, 2, "fromDC2")
+	c := item("x", 10, 9, 0, "highTx")
+
+	s1.Apply(a)
+	s1.Apply(b)
+	s1.Apply(c)
+	// Reverse order on the second store.
+	s2.Apply(c)
+	s2.Apply(b)
+	s2.Apply(a)
+
+	r1, _ := s1.Read("x", 10)
+	r2, _ := s2.Read("x", 10)
+	if string(r1.Value) != string(r2.Value) {
+		t.Fatalf("replicas diverged: %q vs %q", r1.Value, r2.Value)
+	}
+	if string(r1.Value) != "highTx" { // TxID 9 > TxID 5
+		t.Fatalf("winner = %q, want highTx", r1.Value)
+	}
+}
+
+func TestGCKeepsNewestVisibleAtWatermark(t *testing.T) {
+	s := New()
+	for i := uint64(1); i <= 5; i++ {
+		s.Apply(item("x", i*10, i, 0, "v"+strconv.FormatUint(i, 10)))
+	}
+	// Oldest active snapshot is 35: versions 10, 20 are unreachable
+	// (30 is the freshest ≤ 35 and must survive).
+	removed := s.GC(35)
+	if removed != 2 {
+		t.Fatalf("GC removed %d, want 2", removed)
+	}
+	if got := s.VersionCount("x"); got != 3 {
+		t.Fatalf("VersionCount = %d, want 3", got)
+	}
+	// A transaction at the watermark still reads correctly.
+	got, ok := s.Read("x", 35)
+	if !ok || string(got.Value) != "v3" {
+		t.Fatalf("Read(35) = %q, %v; want v3", got.Value, ok)
+	}
+	// And newer snapshots see the newer versions.
+	got, _ = s.Read("x", 50)
+	if string(got.Value) != "v5" {
+		t.Fatalf("Read(50) = %q, want v5", got.Value)
+	}
+}
+
+func TestGCAllVersionsAboveWatermark(t *testing.T) {
+	s := New()
+	s.Apply(item("x", 100, 1, 0, "v"))
+	if removed := s.GC(50); removed != 0 {
+		t.Fatalf("GC removed %d versions above the watermark", removed)
+	}
+}
+
+func TestGCEmptyAndSingleVersion(t *testing.T) {
+	s := New()
+	if removed := s.GC(100); removed != 0 {
+		t.Fatal("GC on empty store removed versions")
+	}
+	s.Apply(item("x", 10, 1, 0, "v"))
+	if removed := s.GC(100); removed != 0 {
+		t.Fatal("GC removed the only version")
+	}
+	if _, ok := s.Read("x", 100); !ok {
+		t.Fatal("version lost after GC")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := New()
+	s.Apply(item("a", 1, 1, 0, "x"))
+	s.Apply(item("a", 2, 2, 0, "y"))
+	s.Apply(item("b", 1, 3, 0, "z"))
+	if s.Keys() != 2 {
+		t.Fatalf("Keys = %d, want 2", s.Keys())
+	}
+	if s.Versions() != 3 {
+		t.Fatalf("Versions = %d, want 3", s.Versions())
+	}
+}
+
+func TestConcurrentApplyAndRead(t *testing.T) {
+	s := New()
+	const (
+		writers = 4
+		perW    = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				key := "k" + strconv.Itoa(i%17)
+				s.Apply(item(key, uint64(i+1), uint64(w*perW+i), int32(w), "v"))
+			}
+		}(w)
+	}
+	// Concurrent readers must never see a torn chain (panic/corruption).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			_, _ = s.Read("k3", hlc.Timestamp(i%600))
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	// After the dust settles, every chain is strictly ordered.
+	for i := 0; i < 17; i++ {
+		key := "k" + strconv.Itoa(i)
+		verifyChainOrder(t, s, key)
+	}
+}
+
+// verifyChainOrder checks the chain is strictly ascending in the
+// (UT, TxID, SrcDC) total order.
+func verifyChainOrder(t *testing.T, s *MVStore, key string) {
+	t.Helper()
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	chain := sh.chains[key]
+	for i := 1; i < len(chain); i++ {
+		if !chain[i-1].Less(chain[i]) {
+			t.Fatalf("chain %q out of order at %d: %v !< %v", key, i, chain[i-1].UT, chain[i].UT)
+		}
+	}
+}
+
+func TestQuickSnapshotReadMatchesSpec(t *testing.T) {
+	// Property: for random version sets and snapshots, Read returns exactly
+	// max{v : v.UT ≤ snap} under the (UT, TxID, SrcDC) order.
+	f := func(uts []uint16, snap uint16) bool {
+		s := New()
+		versions := make([]wire.Item, 0, len(uts))
+		for i, ut := range uts {
+			v := item("k", uint64(ut)+1, uint64(i), int32(i%3), strconv.Itoa(i))
+			versions = append(versions, v)
+			s.Apply(v)
+		}
+		got, ok := s.Read("k", hlc.Timestamp(snap)+1)
+		var want *wire.Item
+		for i := range versions {
+			v := &versions[i]
+			if v.UT <= hlc.Timestamp(snap)+1 && (want == nil || want.Less(*v)) {
+				want = v
+			}
+		}
+		if want == nil {
+			return !ok
+		}
+		return ok && got.UT == want.UT && got.TxID == want.TxID && got.SrcDC == want.SrcDC
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGCPreservesReadsAtOrAboveWatermark(t *testing.T) {
+	// Property: GC(w) never changes the result of Read(key, s) for any s ≥ w.
+	f := func(uts []uint16, watermark uint16, probes []uint16) bool {
+		s := New()
+		for i, ut := range uts {
+			s.Apply(item("k", uint64(ut)+1, uint64(i), 0, strconv.Itoa(i)))
+		}
+		w := hlc.Timestamp(watermark)
+		type result struct {
+			it wire.Item
+			ok bool
+		}
+		before := make([]result, 0, len(probes))
+		snaps := make([]hlc.Timestamp, 0, len(probes))
+		for _, p := range probes {
+			snap := w + hlc.Timestamp(p)
+			snaps = append(snaps, snap)
+			it, ok := s.Read("k", snap)
+			before = append(before, result{it, ok})
+		}
+		s.GC(w)
+		for i, snap := range snaps {
+			it, ok := s.Read("k", snap)
+			if ok != before[i].ok {
+				return false
+			}
+			b := before[i].it
+			if ok && (it.UT != b.UT || it.TxID != b.TxID || it.SrcDC != b.SrcDC ||
+				string(it.Value) != string(b.Value)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkApplySequential(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Apply(item("k"+strconv.Itoa(i%1024), uint64(i+1), uint64(i), 0, "v"))
+	}
+}
+
+func BenchmarkSnapshotRead(b *testing.B) {
+	s := New()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		s.Apply(item("k"+strconv.Itoa(rng.Intn(1024)), uint64(i+1), uint64(i), 0, "v"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = s.Read("k"+strconv.Itoa(i%1024), hlc.Timestamp(i%10000))
+	}
+}

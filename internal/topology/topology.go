@@ -1,0 +1,284 @@
+// Package topology models the PaRiS deployment: M data centers, N partitions,
+// replication factor R (§II-C). It owns replica placement, key→partition
+// hashing, node identity, and replica selection for remote reads.
+package topology
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+type (
+	// DCID identifies a data center (replication site), 0 ≤ DCID < M.
+	DCID int32
+	// PartitionID identifies a data partition (shard), 0 ≤ PartitionID < N.
+	PartitionID int32
+)
+
+// Role distinguishes the two kinds of transport endpoints.
+type Role uint8
+
+const (
+	// RoleServer endpoints host a partition replica.
+	RoleServer Role = iota + 1
+	// RoleClient endpoints run client sessions.
+	RoleClient
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleServer:
+		return "server"
+	case RoleClient:
+		return "client"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// NodeID identifies a transport endpoint. For servers, Index is the
+// PartitionID of the replica the node hosts (the paper assigns exactly one
+// partition per server). For clients, Index is a per-DC client number.
+type NodeID struct {
+	DC    DCID
+	Index int32
+	Role  Role
+}
+
+// ServerID returns the NodeID of the replica of partition p in data center dc.
+func ServerID(dc DCID, p PartitionID) NodeID {
+	return NodeID{DC: dc, Index: int32(p), Role: RoleServer}
+}
+
+// ClientID returns the NodeID of client number i homed in data center dc.
+func ClientID(dc DCID, i int32) NodeID {
+	return NodeID{DC: dc, Index: i, Role: RoleClient}
+}
+
+// Partition returns the partition hosted by a server node.
+func (n NodeID) Partition() PartitionID { return PartitionID(n.Index) }
+
+// String implements fmt.Stringer, e.g. "s2.5" for partition 5 in DC 2.
+func (n NodeID) String() string {
+	switch n.Role {
+	case RoleServer:
+		return fmt.Sprintf("s%d.%d", n.DC, n.Index)
+	case RoleClient:
+		return fmt.Sprintf("c%d.%d", n.DC, n.Index)
+	default:
+		return fmt.Sprintf("n%d.%d", n.DC, n.Index)
+	}
+}
+
+// Topology captures the static shape of a deployment. It is immutable after
+// construction and safe to share across goroutines.
+type Topology struct {
+	numDCs     int32
+	partitions int32
+	rf         int32
+}
+
+// New validates and builds a Topology with M data centers, N partitions and
+// replication factor R. It requires 1 ≤ R ≤ M and N ≥ 1; the paper's partial
+// replication setting is R < M, but full replication (R = M) is permitted so
+// the same code base can emulate full-replication baselines.
+func New(numDCs, partitions, replicationFactor int) (*Topology, error) {
+	switch {
+	case numDCs < 1:
+		return nil, fmt.Errorf("topology: number of DCs must be ≥ 1, got %d", numDCs)
+	case partitions < 1:
+		return nil, fmt.Errorf("topology: number of partitions must be ≥ 1, got %d", partitions)
+	case replicationFactor < 1 || replicationFactor > numDCs:
+		return nil, fmt.Errorf("topology: replication factor must be in [1,%d], got %d",
+			numDCs, replicationFactor)
+	}
+	return &Topology{
+		numDCs:     int32(numDCs),
+		partitions: int32(partitions),
+		rf:         int32(replicationFactor),
+	}, nil
+}
+
+// NumDCs returns M, the number of data centers.
+func (t *Topology) NumDCs() int { return int(t.numDCs) }
+
+// NumPartitions returns N, the number of partitions.
+func (t *Topology) NumPartitions() int { return int(t.partitions) }
+
+// ReplicationFactor returns R, the number of DCs storing each partition.
+func (t *Topology) ReplicationFactor() int { return int(t.rf) }
+
+// PartitionOf maps a key to its partition with an FNV-1a hash (§II-C: "each
+// key is deterministically assigned to one partition by a hash function").
+func (t *Topology) PartitionOf(key string) PartitionID {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key)) // hash.Hash32 never errors
+	return PartitionID(h.Sum32() % uint32(t.partitions))
+}
+
+// ReplicaDCs returns the R data centers storing partition p, in replica-index
+// order. Placement is round-robin: replica i of partition p lives in DC
+// (p + i) mod M, which spreads partitions evenly and guarantees every DC
+// stores N·R/M partitions when M divides N·R.
+func (t *Topology) ReplicaDCs(p PartitionID) []DCID {
+	dcs := make([]DCID, t.rf)
+	for i := int32(0); i < t.rf; i++ {
+		dcs[i] = DCID((int32(p) + i) % t.numDCs)
+	}
+	return dcs
+}
+
+// IsReplicatedAt reports whether data center dc stores partition p.
+func (t *Topology) IsReplicatedAt(p PartitionID, dc DCID) bool {
+	// Replica i lives at (p+i) mod M for 0 ≤ i < R, so dc stores p iff
+	// (dc-p) mod M < R.
+	d := (int32(dc) - int32(p)) % t.numDCs
+	if d < 0 {
+		d += t.numDCs
+	}
+	return d < t.rf
+}
+
+// ReplicaIndex returns the replica index of partition p at data center dc,
+// and false if dc does not store p. VV entries in the server are keyed by the
+// replica's DC; ReplicaIndex supports mapping between the two namings.
+func (t *Topology) ReplicaIndex(p PartitionID, dc DCID) (int, bool) {
+	d := (int32(dc) - int32(p)) % t.numDCs
+	if d < 0 {
+		d += t.numDCs
+	}
+	if d >= t.rf {
+		return 0, false
+	}
+	return int(d), true
+}
+
+// PartitionsAt returns the partitions stored at data center dc, ascending.
+func (t *Topology) PartitionsAt(dc DCID) []PartitionID {
+	var ps []PartitionID
+	for p := int32(0); p < t.partitions; p++ {
+		if t.IsReplicatedAt(PartitionID(p), dc) {
+			ps = append(ps, PartitionID(p))
+		}
+	}
+	return ps
+}
+
+// AllServers enumerates every server node in the deployment (one per replica
+// of every partition).
+func (t *Topology) AllServers() []NodeID {
+	nodes := make([]NodeID, 0, int(t.partitions)*int(t.rf))
+	for p := int32(0); p < t.partitions; p++ {
+		for _, dc := range t.ReplicaDCs(PartitionID(p)) {
+			nodes = append(nodes, ServerID(dc, PartitionID(p)))
+		}
+	}
+	return nodes
+}
+
+// AllDCs enumerates the data center ids 0..M-1.
+func (t *Topology) AllDCs() []DCID {
+	dcs := make([]DCID, t.numDCs)
+	for i := range dcs {
+		dcs[i] = DCID(i)
+	}
+	return dcs
+}
+
+// PeerReplicas returns the server nodes hosting partition p in every DC other
+// than dc; these are the replication targets of Algorithm 4 line 15.
+func (t *Topology) PeerReplicas(p PartitionID, dc DCID) []NodeID {
+	replicas := t.ReplicaDCs(p)
+	peers := make([]NodeID, 0, len(replicas)-1)
+	for _, rdc := range replicas {
+		if rdc != dc {
+			peers = append(peers, ServerID(rdc, p))
+		}
+	}
+	return peers
+}
+
+// Selector chooses which replica serves an operation on a partition, from the
+// point of view of a coordinator in a given DC (Alg. 2 getTargetDCForPartition).
+// Implementations must be safe for concurrent use.
+type Selector interface {
+	// TargetDC returns the data center whose replica of p should serve an
+	// operation coordinated from dc.
+	TargetDC(dc DCID, p PartitionID) DCID
+}
+
+// PreferredSelector picks the local replica when the coordinator's DC stores
+// the partition and otherwise a statically preferred remote replica. The
+// preference is derived from the session seed with round-robin rotation, which
+// reproduces the paper's load-balancing scheme ("We assign to every client in
+// a DC the same preferred remote replica for each partition. We vary the
+// preferred replica in the DCs using a round-robin assignment").
+type PreferredSelector struct {
+	topo *Topology
+	seed int32
+}
+
+// NewPreferredSelector builds a PreferredSelector; seed differentiates the
+// rotation between client processes (the paper rotates per DC).
+func NewPreferredSelector(topo *Topology, seed int32) *PreferredSelector {
+	return &PreferredSelector{topo: topo, seed: seed}
+}
+
+// TargetDC implements Selector.
+func (s *PreferredSelector) TargetDC(dc DCID, p PartitionID) DCID {
+	if s.topo.IsReplicatedAt(p, dc) {
+		return dc
+	}
+	replicas := s.topo.ReplicaDCs(p)
+	return replicas[(int32(dc)+s.seed)%int32(len(replicas))]
+}
+
+// DistanceSelector picks the local replica when one exists and otherwise the
+// remote replica with the smallest distance from the coordinator's DC — the
+// paper's "geographical proximity" replica choice (§IV-B Read: "Remote DCs
+// can be chosen depending on geographical proximity or on some load
+// balancing scheme"). Distances are resolved once at construction, so
+// selection is an O(1) table lookup.
+type DistanceSelector struct {
+	topo   *Topology
+	target [][]DCID // [dc][partition] → chosen DC
+}
+
+// NewDistanceSelector builds a DistanceSelector from a pairwise distance
+// function (typically a latency model's RTT).
+func NewDistanceSelector(topo *Topology, distance func(a, b DCID) float64) *DistanceSelector {
+	s := &DistanceSelector{topo: topo, target: make([][]DCID, topo.NumDCs())}
+	for dc := 0; dc < topo.NumDCs(); dc++ {
+		row := make([]DCID, topo.NumPartitions())
+		for p := 0; p < topo.NumPartitions(); p++ {
+			pid := PartitionID(p)
+			if topo.IsReplicatedAt(pid, DCID(dc)) {
+				row[p] = DCID(dc)
+				continue
+			}
+			best := DCID(-1)
+			bestDist := 0.0
+			for _, replica := range topo.ReplicaDCs(pid) {
+				d := distance(DCID(dc), replica)
+				if best < 0 || d < bestDist {
+					best, bestDist = replica, d
+				}
+			}
+			row[p] = best
+		}
+		s.target[dc] = row
+	}
+	return s
+}
+
+// TargetDC implements Selector.
+func (s *DistanceSelector) TargetDC(dc DCID, p PartitionID) DCID {
+	return s.target[dc][p]
+}
+
+// Compile-time interface compliance.
+var (
+	_ Selector = (*PreferredSelector)(nil)
+	_ Selector = (*DistanceSelector)(nil)
+)

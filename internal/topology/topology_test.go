@@ -1,0 +1,271 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustTopo(t *testing.T, m, n, r int) *Topology {
+	t.Helper()
+	topo, err := New(m, n, r)
+	if err != nil {
+		t.Fatalf("New(%d,%d,%d): %v", m, n, r, err)
+	}
+	return topo
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		m, n, r int
+		ok      bool
+	}{
+		{5, 45, 2, true},
+		{1, 1, 1, true},
+		{3, 9, 3, true}, // full replication allowed
+		{0, 4, 1, false},
+		{3, 0, 1, false},
+		{3, 9, 0, false},
+		{3, 9, 4, false}, // R > M
+	}
+	for _, c := range cases {
+		_, err := New(c.m, c.n, c.r)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%d,%d,%d) err=%v, want ok=%v", c.m, c.n, c.r, err, c.ok)
+		}
+	}
+}
+
+func TestReplicaPlacementPaperDefault(t *testing.T) {
+	// The paper's default deployment: 5 DCs, 45 partitions, RF 2 → 18
+	// partition replicas per DC (the paper's "18 machines per DC").
+	topo := mustTopo(t, 5, 45, 2)
+	for dc := DCID(0); dc < 5; dc++ {
+		if got := len(topo.PartitionsAt(dc)); got != 18 {
+			t.Errorf("DC %d stores %d partitions, want 18", dc, got)
+		}
+	}
+	if got := len(topo.AllServers()); got != 90 {
+		t.Errorf("AllServers = %d, want 90", got)
+	}
+}
+
+func TestReplicaDCsAreDistinctAndConsistent(t *testing.T) {
+	f := func(mRaw, nRaw, rRaw uint8, pRaw uint16) bool {
+		m := int(mRaw%9) + 2  // 2..10 DCs
+		n := int(nRaw%64) + 1 // 1..64 partitions
+		r := int(rRaw)%m + 1  // 1..m
+		topo, err := New(m, n, r)
+		if err != nil {
+			return false
+		}
+		p := PartitionID(int32(pRaw) % int32(n))
+		dcs := topo.ReplicaDCs(p)
+		if len(dcs) != r {
+			return false
+		}
+		seen := make(map[DCID]bool, len(dcs))
+		for i, dc := range dcs {
+			if seen[dc] {
+				return false // duplicate replica DC
+			}
+			seen[dc] = true
+			if !topo.IsReplicatedAt(p, dc) {
+				return false
+			}
+			idx, ok := topo.ReplicaIndex(p, dc)
+			if !ok || idx != i {
+				return false
+			}
+		}
+		// DCs not in the replica set must report not-replicated.
+		for dc := 0; dc < m; dc++ {
+			if !seen[DCID(dc)] {
+				if topo.IsReplicatedAt(p, DCID(dc)) {
+					return false
+				}
+				if _, ok := topo.ReplicaIndex(p, DCID(dc)); ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEveryPartitionCoveredAndBalanced(t *testing.T) {
+	topo := mustTopo(t, 10, 60, 3)
+	// Union of PartitionsAt over all DCs covers every partition R times.
+	count := make(map[PartitionID]int)
+	for _, dc := range topo.AllDCs() {
+		for _, p := range topo.PartitionsAt(dc) {
+			count[p]++
+		}
+	}
+	if len(count) != 60 {
+		t.Fatalf("covered %d partitions, want 60", len(count))
+	}
+	for p, c := range count {
+		if c != 3 {
+			t.Errorf("partition %d replicated %d times, want 3", p, c)
+		}
+	}
+}
+
+func TestPartitionOfInRangeAndDeterministic(t *testing.T) {
+	topo := mustTopo(t, 3, 16, 2)
+	f := func(key string) bool {
+		p := topo.PartitionOf(key)
+		return p >= 0 && int(p) < 16 && p == topo.PartitionOf(key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionOfSpreadsKeys(t *testing.T) {
+	topo := mustTopo(t, 3, 8, 2)
+	counts := make([]int, 8)
+	const keys = 8000
+	for i := 0; i < keys; i++ {
+		counts[topo.PartitionOf(key(i))]++
+	}
+	for p, c := range counts {
+		if c < keys/8/2 || c > keys/8*2 {
+			t.Errorf("partition %d holds %d of %d keys: hash badly skewed", p, c, keys)
+		}
+	}
+}
+
+func key(i int) string {
+	return "key-" + string(rune('a'+i%26)) + "-" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+func TestPeerReplicasExcludesSelf(t *testing.T) {
+	topo := mustTopo(t, 5, 45, 2)
+	for p := PartitionID(0); p < 45; p++ {
+		for _, dc := range topo.ReplicaDCs(p) {
+			peers := topo.PeerReplicas(p, dc)
+			if len(peers) != 1 { // RF 2 → exactly one peer
+				t.Fatalf("partition %d at DC %d: %d peers, want 1", p, dc, len(peers))
+			}
+			if peers[0].DC == dc {
+				t.Fatalf("peer list contains self for partition %d DC %d", p, dc)
+			}
+			if peers[0].Partition() != p || peers[0].Role != RoleServer {
+				t.Fatalf("bad peer identity %v", peers[0])
+			}
+		}
+	}
+}
+
+func TestPreferredSelectorLocalFirst(t *testing.T) {
+	topo := mustTopo(t, 5, 45, 2)
+	sel := NewPreferredSelector(topo, 0)
+	for p := PartitionID(0); p < 45; p++ {
+		for dc := DCID(0); dc < 5; dc++ {
+			target := sel.TargetDC(dc, p)
+			if topo.IsReplicatedAt(p, dc) && target != dc {
+				t.Fatalf("selector skipped local replica: dc=%d p=%d target=%d", dc, p, target)
+			}
+			if !topo.IsReplicatedAt(p, target) {
+				t.Fatalf("selector chose non-replica DC %d for partition %d", target, p)
+			}
+		}
+	}
+}
+
+func TestPreferredSelectorIsStablePerSeed(t *testing.T) {
+	topo := mustTopo(t, 5, 45, 2)
+	a := NewPreferredSelector(topo, 1)
+	b := NewPreferredSelector(topo, 1)
+	for p := PartitionID(0); p < 45; p++ {
+		if a.TargetDC(3, p) != b.TargetDC(3, p) {
+			t.Fatalf("same seed must give same preference (partition %d)", p)
+		}
+	}
+}
+
+func TestPreferredSelectorSpreadsLoadAcrossSeeds(t *testing.T) {
+	// Different seeds must not all pick the same remote replica: the paper
+	// balances remote load round-robin across DCs.
+	topo := mustTopo(t, 5, 45, 2)
+	var p PartitionID
+	for p = 0; p < 45; p++ {
+		if !topo.IsReplicatedAt(p, 0) {
+			break
+		}
+	}
+	targets := make(map[DCID]bool)
+	for seed := int32(0); seed < 5; seed++ {
+		targets[NewPreferredSelector(topo, seed).TargetDC(0, p)] = true
+	}
+	if len(targets) < 2 {
+		t.Fatalf("all seeds picked the same remote replica %v", targets)
+	}
+}
+
+func TestNodeIDStrings(t *testing.T) {
+	if got := ServerID(2, 5).String(); got != "s2.5" {
+		t.Errorf("ServerID string = %q", got)
+	}
+	if got := ClientID(1, 7).String(); got != "c1.7" {
+		t.Errorf("ClientID string = %q", got)
+	}
+	if got := RoleServer.String(); got != "server" {
+		t.Errorf("RoleServer string = %q", got)
+	}
+	if got := RoleClient.String(); got != "client" {
+		t.Errorf("RoleClient string = %q", got)
+	}
+}
+
+func TestDistanceSelectorPicksNearest(t *testing.T) {
+	topo := mustTopo(t, 5, 45, 2)
+	// Distance = absolute DC id difference: a synthetic but asymmetric
+	// geography that makes the nearest replica unambiguous.
+	dist := func(a, b DCID) float64 {
+		d := int(a) - int(b)
+		if d < 0 {
+			d = -d
+		}
+		return float64(d)
+	}
+	sel := NewDistanceSelector(topo, dist)
+	for p := PartitionID(0); p < 45; p++ {
+		for dc := DCID(0); dc < 5; dc++ {
+			target := sel.TargetDC(dc, p)
+			if topo.IsReplicatedAt(p, dc) {
+				if target != dc {
+					t.Fatalf("nearest selector skipped local replica (dc=%d p=%d)", dc, p)
+				}
+				continue
+			}
+			if !topo.IsReplicatedAt(p, target) {
+				t.Fatalf("selector chose non-replica DC %d", target)
+			}
+			for _, replica := range topo.ReplicaDCs(p) {
+				if dist(dc, replica) < dist(dc, target) {
+					t.Fatalf("dc=%d p=%d: chose %d (dist %v) over nearer %d (dist %v)",
+						dc, p, target, dist(dc, target), replica, dist(dc, replica))
+				}
+			}
+		}
+	}
+}

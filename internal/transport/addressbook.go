@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"github.com/paris-kv/paris/internal/topology"
+)
+
+// SyncBook is a mutable, concurrency-safe AddressBook for deployments where
+// nodes (typically clients) join while traffic is already flowing. A
+// StaticBook is sufficient when the membership is fixed before startup.
+type SyncBook struct {
+	mu    sync.RWMutex
+	addrs map[topology.NodeID]string
+}
+
+// NewSyncBook returns an empty SyncBook.
+func NewSyncBook() *SyncBook {
+	return &SyncBook{addrs: make(map[topology.NodeID]string)}
+}
+
+// Set registers (or replaces) a node's address.
+func (b *SyncBook) Set(id topology.NodeID, addr string) {
+	b.mu.Lock()
+	b.addrs[id] = addr
+	b.mu.Unlock()
+}
+
+// Addr implements AddressBook.
+func (b *SyncBook) Addr(id topology.NodeID) (string, error) {
+	b.mu.RLock()
+	addr, ok := b.addrs[id]
+	b.mu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %v", ErrUnknownNode, id)
+	}
+	return addr, nil
+}
+
+// Compile-time interface compliance.
+var _ AddressBook = (*SyncBook)(nil)
+
+// LoadAddressBook parses a peers file mapping each server replica to its
+// dialable address. The format is line-oriented: "dc partition host:port",
+// with blank lines and #-comments ignored. Both cmd/paris-server and
+// cmd/paris-client consume this format.
+func LoadAddressBook(path string) (StaticBook, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("transport: opening peers file: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	book, err := ParseAddressBook(f)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %s: %w", path, err)
+	}
+	return book, nil
+}
+
+// ParseAddressBook reads the peers format from r.
+func ParseAddressBook(r io.Reader) (StaticBook, error) {
+	book := StaticBook{}
+	scanner := bufio.NewScanner(r)
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("line %d: want \"dc partition host:port\", got %q", line, text)
+		}
+		var dc, p int
+		if _, err := fmt.Sscanf(fields[0], "%d", &dc); err != nil || dc < 0 {
+			return nil, fmt.Errorf("line %d: bad dc %q", line, fields[0])
+		}
+		if _, err := fmt.Sscanf(fields[1], "%d", &p); err != nil || p < 0 {
+			return nil, fmt.Errorf("line %d: bad partition %q", line, fields[1])
+		}
+		id := topology.ServerID(topology.DCID(dc), topology.PartitionID(p))
+		if _, dup := book[id]; dup {
+			return nil, fmt.Errorf("line %d: duplicate entry for %v", line, id)
+		}
+		book[id] = fields[2]
+	}
+	return book, scanner.Err()
+}

@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/paris-kv/paris/internal/topology"
+)
+
+func TestParseAddressBook(t *testing.T) {
+	input := `# comment line
+0 0 10.0.0.1:7000
+
+0 1 10.0.0.2:7000
+1 0 10.0.1.1:7000
+`
+	book, err := ParseAddressBook(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(book) != 3 {
+		t.Fatalf("parsed %d entries", len(book))
+	}
+	addr, err := book.Addr(topology.ServerID(0, 1))
+	if err != nil || addr != "10.0.0.2:7000" {
+		t.Fatalf("Addr = %q, %v", addr, err)
+	}
+}
+
+func TestParseAddressBookErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"too few fields", "0 10.0.0.1:7000\n"},
+		{"too many fields", "0 0 addr extra\n"},
+		{"bad dc", "x 0 addr\n"},
+		{"negative dc", "-1 0 addr\n"},
+		{"bad partition", "0 y addr\n"},
+		{"duplicate", "0 0 a:1\n0 0 a:2\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseAddressBook(strings.NewReader(c.input)); err == nil {
+			t.Errorf("%s: accepted %q", c.name, c.input)
+		}
+	}
+}
+
+func TestLoadAddressBookFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "peers.txt")
+	if err := os.WriteFile(path, []byte("2 5 host:9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	book, err := LoadAddressBook(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr, _ := book.Addr(topology.ServerID(2, 5)); addr != "host:9" {
+		t.Fatalf("Addr = %q", addr)
+	}
+	if _, err := LoadAddressBook(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

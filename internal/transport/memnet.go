@@ -1,0 +1,293 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// MemNet is an in-process network that simulates the paper's geo-replicated
+// deployment: every ordered pair of communicating nodes gets a dedicated
+// lossless FIFO link whose delivery delay comes from a LatencyModel. Links
+// between data centers can be partitioned and healed at runtime; a
+// partitioned link queues traffic and releases it on heal, which is how a
+// long TCP outage behaves from the protocol's point of view.
+type MemNet struct {
+	latency LatencyModel
+
+	mu      sync.Mutex
+	nodes   map[topology.NodeID]*memEndpoint
+	links   map[linkKey]*memLink
+	blocked map[dcPair]bool
+	healed  *sync.Cond // broadcast when a partition heals or the net closes
+	closed  bool
+	wg      sync.WaitGroup
+
+	sent     atomic.Uint64
+	byKindMu sync.Mutex
+	byKind   map[wire.Kind]uint64
+}
+
+type (
+	linkKey struct{ from, to topology.NodeID }
+	dcPair  struct{ a, b topology.DCID }
+)
+
+func orderedPair(a, b topology.DCID) dcPair {
+	if a > b {
+		a, b = b, a
+	}
+	return dcPair{a, b}
+}
+
+// NewMemNet builds a network with the given latency model (nil means
+// ZeroLatency).
+func NewMemNet(latency LatencyModel) *MemNet {
+	if latency == nil {
+		latency = ZeroLatency{}
+	}
+	n := &MemNet{
+		latency: latency,
+		nodes:   make(map[topology.NodeID]*memEndpoint),
+		links:   make(map[linkKey]*memLink),
+		blocked: make(map[dcPair]bool),
+		byKind:  make(map[wire.Kind]uint64),
+	}
+	n.healed = sync.NewCond(&n.mu)
+	return n
+}
+
+// Register implements Network.
+func (n *MemNet) Register(id topology.NodeID, h Handler) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.nodes[id]; ok {
+		return nil, ErrDuplicateNode
+	}
+	ep := &memEndpoint{net: n, id: id, handler: h}
+	n.nodes[id] = ep
+	return ep, nil
+}
+
+// Close implements Network. Queued envelopes are discarded.
+func (n *MemNet) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	for _, l := range n.links {
+		l.close()
+	}
+	n.healed.Broadcast()
+	n.mu.Unlock()
+	n.wg.Wait()
+	return nil
+}
+
+// SetPartitioned blocks (or unblocks) all traffic between data centers a and
+// b. Blocked traffic is queued and delivered after healing, preserving FIFO.
+func (n *MemNet) SetPartitioned(a, b topology.DCID, partitioned bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if partitioned {
+		n.blocked[orderedPair(a, b)] = true
+		return
+	}
+	delete(n.blocked, orderedPair(a, b))
+	n.healed.Broadcast()
+}
+
+// IsolateDC partitions dc from every other data center (or heals all of its
+// links when isolated is false). It models the paper's availability scenario
+// (§III-C): "If a DC partitions from the rest of the system, then the UST
+// freezes at all DCs."
+func (n *MemNet) IsolateDC(dc topology.DCID, isolated bool, numDCs int) {
+	for other := 0; other < numDCs; other++ {
+		if topology.DCID(other) != dc {
+			n.SetPartitioned(dc, topology.DCID(other), isolated)
+		}
+	}
+}
+
+// MessagesSent returns the total number of envelopes accepted for delivery;
+// MessagesByKind breaks the count down by payload kind. The meta-data
+// efficiency tests use these to compare protocol overheads.
+func (n *MemNet) MessagesSent() uint64 { return n.sent.Load() }
+
+// MessagesByKind returns a snapshot of per-kind send counts.
+func (n *MemNet) MessagesByKind() map[wire.Kind]uint64 {
+	n.byKindMu.Lock()
+	defer n.byKindMu.Unlock()
+	out := make(map[wire.Kind]uint64, len(n.byKind))
+	for k, v := range n.byKind {
+		out[k] = v
+	}
+	return out
+}
+
+func (n *MemNet) isBlocked(a, b topology.DCID) bool {
+	return n.blocked[orderedPair(a, b)]
+}
+
+// send routes an envelope onto its link, creating the link on first use.
+func (n *MemNet) send(env Envelope) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := n.nodes[env.To]; !ok {
+		n.mu.Unlock()
+		return ErrUnknownNode
+	}
+	key := linkKey{from: env.From, to: env.To}
+	l, ok := n.links[key]
+	if !ok {
+		l = newMemLink(n, key, n.latency.Delay(env.From, env.To))
+		n.links[key] = l
+		n.wg.Add(1)
+		go l.run()
+	}
+	n.mu.Unlock()
+
+	n.sent.Add(1)
+	n.byKindMu.Lock()
+	n.byKind[env.Msg.Kind()]++
+	n.byKindMu.Unlock()
+
+	l.push(env)
+	return nil
+}
+
+// memEndpoint implements Endpoint.
+type memEndpoint struct {
+	net     *MemNet
+	id      topology.NodeID
+	handler Handler
+	closed  atomic.Bool
+}
+
+// Send implements Endpoint.
+func (e *memEndpoint) Send(env Envelope) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	env.From = e.id
+	return e.net.send(env)
+}
+
+// Close implements Endpoint. The node stops receiving; envelopes already
+// queued toward it are dropped at delivery time.
+func (e *memEndpoint) Close() error {
+	e.closed.Store(true)
+	return nil
+}
+
+func (e *memEndpoint) deliver(env Envelope) {
+	if e.closed.Load() {
+		return
+	}
+	e.handler.Deliver(env)
+}
+
+// memLink is one ordered FIFO channel. A dedicated goroutine delivers
+// envelopes after the link's latency, stalling while the DC pair is
+// partitioned.
+type memLink struct {
+	net   *MemNet
+	key   linkKey
+	delay time.Duration
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []timedEnvelope
+	closed bool
+}
+
+type timedEnvelope struct {
+	env       Envelope
+	deliverAt time.Time
+}
+
+func newMemLink(net *MemNet, key linkKey, delay time.Duration) *memLink {
+	l := &memLink{net: net, key: key, delay: delay}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+func (l *memLink) push(env Envelope) {
+	at := time.Now().Add(l.delay)
+	l.mu.Lock()
+	// Guard FIFO even if the wall clock misbehaves: delivery times never
+	// regress along the queue.
+	if n := len(l.queue); n > 0 && l.queue[n-1].deliverAt.After(at) {
+		at = l.queue[n-1].deliverAt
+	}
+	l.queue = append(l.queue, timedEnvelope{env: env, deliverAt: at})
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+func (l *memLink) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+func (l *memLink) run() {
+	defer l.net.wg.Done()
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		te := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+
+		if wait := time.Until(te.deliverAt); wait > 0 {
+			time.Sleep(wait)
+		}
+		if !l.waitHealed() {
+			return // network closed while partitioned
+		}
+
+		l.net.mu.Lock()
+		dst := l.net.nodes[te.env.To]
+		l.net.mu.Unlock()
+		if dst != nil {
+			dst.deliver(te.env)
+		}
+	}
+}
+
+// waitHealed blocks while the link's DC pair is partitioned. It returns false
+// if the network closed in the meantime.
+func (l *memLink) waitHealed() bool {
+	n := l.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for n.isBlocked(l.key.from.DC, l.key.to.DC) && !n.closed {
+		n.healed.Wait()
+	}
+	return !n.closed
+}
+
+// Compile-time interface compliance.
+var (
+	_ Network  = (*MemNet)(nil)
+	_ Endpoint = (*memEndpoint)(nil)
+)

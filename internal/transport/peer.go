@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// RequestHandler is the application-side consumer of a Peer's inbound
+// traffic. HandleRequest must arrange for reply to be called exactly once but
+// may do so from any goroutine at any later time — this is what lets the BPR
+// baseline block a read server-side without stalling the link. HandleCast
+// runs inline on the delivery goroutine and must be quick.
+type RequestHandler interface {
+	HandleRequest(from topology.NodeID, req wire.Message, reply func(wire.Message))
+	HandleCast(from topology.NodeID, msg wire.Message)
+}
+
+// Peer wraps an Endpoint with request/response bookkeeping. It implements
+// Handler and must be registered as the node's inbound handler.
+type Peer struct {
+	self    topology.NodeID
+	handler RequestHandler
+
+	mu      sync.Mutex
+	ep      Endpoint
+	nextID  uint64
+	pending map[uint64]chan wire.Message
+	closed  bool
+}
+
+// NewPeer creates the Peer for node self, dispatching inbound requests and
+// casts to handler. Call Attach with the endpoint returned by
+// Network.Register(self, peer) before sending.
+func NewPeer(self topology.NodeID, handler RequestHandler) *Peer {
+	return &Peer{
+		self:    self,
+		handler: handler,
+		pending: make(map[uint64]chan wire.Message),
+	}
+}
+
+// Attach binds the peer to its network endpoint.
+func (p *Peer) Attach(ep Endpoint) {
+	p.mu.Lock()
+	p.ep = ep
+	p.mu.Unlock()
+}
+
+// Self returns the node id this peer speaks for.
+func (p *Peer) Self() topology.NodeID { return p.self }
+
+// Close fails all pending calls and detaches. The underlying endpoint is the
+// owner's to close.
+func (p *Peer) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	pending := p.pending
+	p.pending = make(map[uint64]chan wire.Message)
+	p.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// Call sends req to node "to" and waits for the matching response or context
+// cancellation. A wire.ErrorResp response is converted into an error.
+func (p *Peer) Call(ctx context.Context, to topology.NodeID, req wire.Message) (wire.Message, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	ep := p.ep
+	p.nextID++
+	id := p.nextID
+	ch := make(chan wire.Message, 1)
+	p.pending[id] = ch
+	p.mu.Unlock()
+	if ep == nil {
+		p.forget(id)
+		return nil, fmt.Errorf("transport: peer %v not attached", p.self)
+	}
+
+	err := ep.Send(Envelope{To: to, Class: ClassRequest, RequestID: id, Msg: req})
+	if err != nil {
+		p.forget(id)
+		return nil, fmt.Errorf("transport: call %v→%v %v: %w", p.self, to, req.Kind(), err)
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		if e, isErr := resp.(wire.ErrorResp); isErr {
+			return nil, e.Err()
+		}
+		return resp, nil
+	case <-ctx.Done():
+		p.forget(id)
+		return nil, ctx.Err()
+	}
+}
+
+// Cast sends a one-way message to node "to".
+func (p *Peer) Cast(to topology.NodeID, msg wire.Message) error {
+	p.mu.Lock()
+	ep, closed := p.ep, p.closed
+	p.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if ep == nil {
+		return fmt.Errorf("transport: peer %v not attached", p.self)
+	}
+	return ep.Send(Envelope{To: to, Class: ClassCast, Msg: msg})
+}
+
+// Deliver implements Handler, routing responses to pending calls and
+// requests/casts to the application handler.
+func (p *Peer) Deliver(env Envelope) {
+	switch env.Class {
+	case ClassResponse:
+		p.mu.Lock()
+		ch, ok := p.pending[env.RequestID]
+		if ok {
+			delete(p.pending, env.RequestID)
+		}
+		p.mu.Unlock()
+		if ok {
+			ch <- env.Msg // buffered; never blocks
+		}
+		// A response with no pending call was cancelled; drop it.
+	case ClassRequest:
+		from, id := env.From, env.RequestID
+		p.handler.HandleRequest(from, env.Msg, func(resp wire.Message) {
+			p.mu.Lock()
+			ep := p.ep
+			p.mu.Unlock()
+			if ep == nil {
+				return
+			}
+			// Reply even while this peer is closing: the caller may be
+			// waiting on this response to finish its own shutdown, and the
+			// endpoint outlives the peer. If the network is already gone the
+			// send fails and the caller times out — best effort.
+			_ = ep.Send(Envelope{To: from, Class: ClassResponse, RequestID: id, Msg: resp})
+		})
+	case ClassCast:
+		p.handler.HandleCast(env.From, env.Msg)
+	}
+}
+
+func (p *Peer) forget(id uint64) {
+	p.mu.Lock()
+	delete(p.pending, id)
+	p.mu.Unlock()
+}
+
+// Compile-time interface compliance.
+var _ Handler = (*Peer)(nil)

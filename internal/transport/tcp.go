@@ -1,0 +1,369 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// TCPNode attaches one node to a real TCP network: it listens for inbound
+// connections from peers and lazily dials one outbound connection per peer.
+// Each outbound connection is written by a single goroutine, so per-link FIFO
+// order — the protocol's channel assumption — is inherited from TCP itself.
+//
+// TCPNode implements Endpoint; unlike MemNet there is no central Network
+// object because each node lives in its own process (see cmd/paris-server).
+type TCPNode struct {
+	self    topology.NodeID
+	book    AddressBook
+	handler Handler
+	ln      net.Listener
+
+	mu      sync.Mutex
+	conns   map[topology.NodeID]*tcpConn
+	inbound map[net.Conn]*tcpConn
+	// routes maps a peer to the write side of an inbound connection it
+	// opened to us. Nodes absent from the address book — clients, which
+	// listen on ephemeral ports unknown to servers — are answered over the
+	// connection they dialed in on, standard RPC reverse routing.
+	routes map[topology.NodeID]*tcpConn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// AddressBook resolves node ids to dialable addresses.
+type AddressBook interface {
+	// Addr returns the "host:port" address of node id.
+	Addr(id topology.NodeID) (string, error)
+}
+
+// StaticBook is a fixed node→address map.
+type StaticBook map[topology.NodeID]string
+
+// Addr implements AddressBook.
+func (b StaticBook) Addr(id topology.NodeID) (string, error) {
+	addr, ok := b[id]
+	if !ok {
+		return "", fmt.Errorf("%w: %v", ErrUnknownNode, id)
+	}
+	return addr, nil
+}
+
+// ListenTCP starts a node listening on listenAddr (e.g. ":7001"). The
+// returned node delivers inbound envelopes to handler and must be closed by
+// the caller.
+func ListenTCP(self topology.NodeID, listenAddr string, book AddressBook, handler Handler) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	n := &TCPNode{
+		self:    self,
+		book:    book,
+		handler: handler,
+		ln:      ln,
+		conns:   make(map[topology.NodeID]*tcpConn),
+		inbound: make(map[net.Conn]*tcpConn),
+		routes:  make(map[topology.NodeID]*tcpConn),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// ListenAddr returns the bound listen address (useful with ":0").
+func (n *TCPNode) ListenAddr() string { return n.ln.Addr().String() }
+
+// Send implements Endpoint.
+func (n *TCPNode) Send(env Envelope) error {
+	env.From = n.self
+	c, err := n.conn(env.To)
+	if err != nil {
+		// Fall back to the reverse route: the destination may have dialed
+		// us even though the address book cannot resolve it (clients).
+		n.mu.Lock()
+		rc, ok := n.routes[env.To]
+		n.mu.Unlock()
+		if !ok {
+			return err
+		}
+		c = rc
+	}
+	return c.enqueue(env)
+}
+
+// Close implements Endpoint: stops the listener, closes all connections and
+// waits for the I/O goroutines.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]*tcpConn, 0, len(n.conns))
+	for _, c := range n.conns {
+		conns = append(conns, c)
+	}
+	// Inbound connections must be closed explicitly or their read loops
+	// block in ReadFull until the remote side closes — which may itself be
+	// waiting on us during an orderly shutdown.
+	inbound := make([]*tcpConn, 0, len(n.inbound))
+	for _, wc := range n.inbound {
+		inbound = append(inbound, wc)
+	}
+	n.mu.Unlock()
+
+	err := n.ln.Close()
+	for _, c := range conns {
+		c.close()
+	}
+	for _, wc := range inbound {
+		wc.close()
+	}
+	n.wg.Wait()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return fmt.Errorf("transport: closing listener: %w", err)
+	}
+	return nil
+}
+
+func (n *TCPNode) conn(to topology.NodeID) (*tcpConn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	n.mu.Unlock()
+
+	addr, err := n.book.Addr(to)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %v at %s: %w", to, addr, err)
+	}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		_ = raw.Close()
+		return nil, ErrClosed
+	}
+	if c, ok := n.conns[to]; ok { // lost the race; reuse the winner
+		n.mu.Unlock()
+		_ = raw.Close()
+		return c, nil
+	}
+	c := newTCPConn(raw)
+	n.conns[to] = c
+	n.wg.Add(2)
+	go func() {
+		defer n.wg.Done()
+		c.writeLoop()
+	}()
+	// Outbound connections are read too: peers reply to requests over the
+	// connection they arrived on (reverse routing).
+	go func() {
+		defer n.wg.Done()
+		n.readLoop(raw, c)
+	}()
+	n.mu.Unlock()
+	return c, nil
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		raw, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		// The write side of an inbound connection serves as the reverse
+		// route for replies to peers the address book cannot resolve.
+		wc := newTCPConn(raw)
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = raw.Close()
+			return
+		}
+		n.inbound[raw] = wc
+		n.mu.Unlock()
+		n.wg.Add(2)
+		go func() {
+			defer n.wg.Done()
+			wc.writeLoop()
+		}()
+		go func() {
+			defer n.wg.Done()
+			n.readLoop(raw, wc)
+		}()
+	}
+}
+
+func (n *TCPNode) readLoop(raw net.Conn, wc *tcpConn) {
+	var from topology.NodeID
+	defer func() {
+		wc.close()
+		n.mu.Lock()
+		delete(n.inbound, raw)
+		if n.routes[from] == wc {
+			delete(n.routes, from)
+		}
+		// Evict a dead outbound connection so future sends redial.
+		for to, c := range n.conns {
+			if c == wc {
+				delete(n.conns, to)
+			}
+		}
+		n.mu.Unlock()
+	}()
+	var header [4]byte
+	for {
+		if _, err := io.ReadFull(raw, header[:]); err != nil {
+			return
+		}
+		size := binary.LittleEndian.Uint32(header[:])
+		if size > maxFrameSize {
+			return // corrupt peer; drop the connection
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(raw, frame); err != nil {
+			return
+		}
+		env, err := decodeFrame(frame)
+		if err != nil {
+			return
+		}
+		if env.From != from {
+			from = env.From
+			n.mu.Lock()
+			n.routes[from] = wc
+			n.mu.Unlock()
+		}
+		env.To = n.self
+		n.handler.Deliver(env)
+	}
+}
+
+// maxFrameSize bounds a single message on the wire (64 MiB, far above any
+// legitimate PaRiS message).
+const maxFrameSize = 64 << 20
+
+// Frame layout after the uint32 length prefix:
+//
+//	from.DC  int32 | from.Index int32 | from.Role uint8 |
+//	class uint8 | requestID uint64 | wire-encoded message
+const frameHeaderSize = 4 + 4 + 1 + 1 + 8
+
+func encodeFrame(env Envelope) []byte {
+	buf := make([]byte, 4, 4+frameHeaderSize+64)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(env.From.DC))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(env.From.Index))
+	buf = append(buf, byte(env.From.Role), byte(env.Class))
+	buf = binary.LittleEndian.AppendUint64(buf, env.RequestID)
+	buf = wire.AppendMessage(buf, env.Msg)
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	return buf
+}
+
+func decodeFrame(frame []byte) (Envelope, error) {
+	if len(frame) < frameHeaderSize {
+		return Envelope{}, wire.ErrTruncated
+	}
+	env := Envelope{
+		From: topology.NodeID{
+			DC:    topology.DCID(int32(binary.LittleEndian.Uint32(frame[0:]))),
+			Index: int32(binary.LittleEndian.Uint32(frame[4:])),
+			Role:  topology.Role(frame[8]),
+		},
+		Class:     Class(frame[9]),
+		RequestID: binary.LittleEndian.Uint64(frame[10:]),
+	}
+	msg, err := wire.Decode(frame[frameHeaderSize:])
+	if err != nil {
+		return Envelope{}, err
+	}
+	env.Msg = msg
+	return env, nil
+}
+
+// tcpConn is one outbound connection with a single writer goroutine feeding
+// it from an unbounded FIFO queue.
+type tcpConn struct {
+	raw net.Conn
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
+}
+
+func newTCPConn(raw net.Conn) *tcpConn {
+	c := &tcpConn{raw: raw}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *tcpConn) enqueue(env Envelope) error {
+	frame := encodeFrame(env)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.queue = append(c.queue, frame)
+	c.cond.Signal()
+	return nil
+}
+
+func (c *tcpConn) close() {
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	_ = c.raw.Close()
+}
+
+func (c *tcpConn) writeLoop() {
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if len(c.queue) == 0 && c.closed {
+			c.mu.Unlock()
+			return
+		}
+		batch := c.queue
+		c.queue = nil
+		c.mu.Unlock()
+
+		for _, frame := range batch {
+			if _, err := c.raw.Write(frame); err != nil {
+				c.mu.Lock()
+				c.closed = true
+				c.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// Compile-time interface compliance.
+var (
+	_ Endpoint    = (*TCPNode)(nil)
+	_ AddressBook = StaticBook(nil)
+)

@@ -1,0 +1,392 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/topology"
+)
+
+// The codec is a hand-rolled little-endian binary format (the paper uses
+// protobufs; any self-describing framing preserves behaviour and the stdlib
+// constraint rules protobuf out). Layout: one Kind byte followed by the
+// message body. Strings and byte slices are length-prefixed with uint32;
+// slice counts likewise.
+
+// ErrTruncated reports a message shorter than its declared contents.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// maxSliceLen bounds decoded slice lengths to keep a corrupt or malicious
+// length prefix from allocating unbounded memory.
+const maxSliceLen = 1 << 26 // 64 Mi elements / bytes
+
+// Encode serializes msg (kind byte + body) into a fresh buffer.
+func Encode(msg Message) []byte {
+	return AppendMessage(nil, msg)
+}
+
+// AppendMessage appends the encoding of msg to buf and returns the result.
+func AppendMessage(buf []byte, msg Message) []byte {
+	buf = append(buf, byte(msg.Kind()))
+	switch m := msg.(type) {
+	case StartTxReq:
+		buf = putTS(buf, m.ClientUST)
+	case StartTxResp:
+		buf = putU64(buf, uint64(m.TxID))
+		buf = putTS(buf, m.Snapshot)
+	case ReadReq:
+		buf = putU64(buf, uint64(m.TxID))
+		buf = putStrings(buf, m.Keys)
+	case ReadResp:
+		buf = putItems(buf, m.Items)
+	case CommitReq:
+		buf = putU64(buf, uint64(m.TxID))
+		buf = putTS(buf, m.HWT)
+		buf = putKVs(buf, m.Writes)
+	case CommitResp:
+		buf = putTS(buf, m.CommitTS)
+	case FinishTx:
+		buf = putU64(buf, uint64(m.TxID))
+	case ReadSliceReq:
+		buf = putStrings(buf, m.Keys)
+		buf = putTS(buf, m.Snapshot)
+	case ReadSliceResp:
+		buf = putItems(buf, m.Items)
+	case PrepareReq:
+		buf = putU64(buf, uint64(m.TxID))
+		buf = putTS(buf, m.Snapshot)
+		buf = putTS(buf, m.HT)
+		buf = putKVs(buf, m.Writes)
+	case PrepareResp:
+		buf = putU64(buf, uint64(m.TxID))
+		buf = putTS(buf, m.Proposed)
+	case CohortCommit:
+		buf = putU64(buf, uint64(m.TxID))
+		buf = putTS(buf, m.CommitTS)
+	case Replicate:
+		buf = putU32(buf, uint32(m.SrcDC))
+		buf = putTS(buf, m.CT)
+		buf = putU32(buf, uint32(len(m.Txns)))
+		for _, tx := range m.Txns {
+			buf = putU64(buf, uint64(tx.TxID))
+			buf = putU32(buf, uint32(tx.SrcDC))
+			buf = putKVs(buf, tx.Writes)
+		}
+	case Heartbeat:
+		buf = putU32(buf, uint32(m.SrcDC))
+		buf = putTS(buf, m.TS)
+	case GSTUp:
+		buf = putTSs(buf, m.Vec)
+		buf = putTS(buf, m.Oldest)
+	case GSTRoot:
+		buf = putU32(buf, uint32(m.DC))
+		buf = putTSs(buf, m.Vec)
+		buf = putTS(buf, m.Oldest)
+	case USTDown:
+		buf = putTS(buf, m.UST)
+		buf = putTS(buf, m.Sold)
+	case ErrorResp:
+		buf = putU16(buf, m.Code)
+		buf = putString(buf, m.Msg)
+	default:
+		// Unreachable for the closed Message set; keep the byte stream valid
+		// by encoding an error so a peer fails loudly instead of hanging.
+		buf = buf[:len(buf)-1]
+		buf = append(buf, byte(KindError))
+		buf = putU16(buf, 0)
+		buf = putString(buf, fmt.Sprintf("unencodable message %T", msg))
+	}
+	return buf
+}
+
+// Decode parses a message previously produced by Encode/AppendMessage.
+func Decode(data []byte) (Message, error) {
+	if len(data) == 0 {
+		return nil, ErrTruncated
+	}
+	kind, r := Kind(data[0]), reader{buf: data[1:]}
+	var msg Message
+	switch kind {
+	case KindStartTxReq:
+		msg = StartTxReq{ClientUST: r.ts()}
+	case KindStartTxResp:
+		msg = StartTxResp{TxID: TxID(r.u64()), Snapshot: r.ts()}
+	case KindReadReq:
+		msg = ReadReq{TxID: TxID(r.u64()), Keys: r.strings()}
+	case KindReadResp:
+		msg = ReadResp{Items: r.items()}
+	case KindCommitReq:
+		msg = CommitReq{TxID: TxID(r.u64()), HWT: r.ts(), Writes: r.kvs()}
+	case KindCommitResp:
+		msg = CommitResp{CommitTS: r.ts()}
+	case KindFinishTx:
+		msg = FinishTx{TxID: TxID(r.u64())}
+	case KindReadSliceReq:
+		msg = ReadSliceReq{Keys: r.strings(), Snapshot: r.ts()}
+	case KindReadSliceResp:
+		msg = ReadSliceResp{Items: r.items()}
+	case KindPrepareReq:
+		msg = PrepareReq{TxID: TxID(r.u64()), Snapshot: r.ts(), HT: r.ts(), Writes: r.kvs()}
+	case KindPrepareResp:
+		msg = PrepareResp{TxID: TxID(r.u64()), Proposed: r.ts()}
+	case KindCohortCommit:
+		msg = CohortCommit{TxID: TxID(r.u64()), CommitTS: r.ts()}
+	case KindReplicate:
+		rep := Replicate{SrcDC: topology.DCID(r.u32()), CT: r.ts()}
+		n := r.sliceLen()
+		if n > 0 {
+			rep.Txns = make([]TxUpdates, 0, n)
+			for i := 0; i < n && r.err == nil; i++ {
+				rep.Txns = append(rep.Txns, TxUpdates{
+					TxID:   TxID(r.u64()),
+					SrcDC:  topology.DCID(r.u32()),
+					Writes: r.kvs(),
+				})
+			}
+		}
+		msg = rep
+	case KindHeartbeat:
+		msg = Heartbeat{SrcDC: topology.DCID(r.u32()), TS: r.ts()}
+	case KindGSTUp:
+		msg = GSTUp{Vec: r.tss(), Oldest: r.ts()}
+	case KindGSTRoot:
+		msg = GSTRoot{DC: topology.DCID(r.u32()), Vec: r.tss(), Oldest: r.ts()}
+	case KindUSTDown:
+		msg = USTDown{UST: r.ts(), Sold: r.ts()}
+	case KindError:
+		msg = ErrorResp{Code: r.u16(), Msg: r.string()}
+	default:
+		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("wire: decoding %v: %w", kind, r.err)
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %v", len(r.buf), kind)
+	}
+	return msg, nil
+}
+
+// --- encode helpers ---
+
+func putU16(buf []byte, v uint16) []byte {
+	return binary.LittleEndian.AppendUint16(buf, v)
+}
+
+func putU32(buf []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, v)
+}
+
+func putU64(buf []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, v)
+}
+
+func putTS(buf []byte, ts hlc.Timestamp) []byte {
+	return putU64(buf, uint64(ts))
+}
+
+func putString(buf []byte, s string) []byte {
+	buf = putU32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func putBytes(buf, b []byte) []byte {
+	buf = putU32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+func putStrings(buf []byte, ss []string) []byte {
+	buf = putU32(buf, uint32(len(ss)))
+	for _, s := range ss {
+		buf = putString(buf, s)
+	}
+	return buf
+}
+
+func putTSs(buf []byte, tss []hlc.Timestamp) []byte {
+	buf = putU32(buf, uint32(len(tss)))
+	for _, ts := range tss {
+		buf = putTS(buf, ts)
+	}
+	return buf
+}
+
+func putKVs(buf []byte, kvs []KV) []byte {
+	buf = putU32(buf, uint32(len(kvs)))
+	for _, kv := range kvs {
+		buf = putString(buf, kv.Key)
+		buf = putBytes(buf, kv.Value)
+	}
+	return buf
+}
+
+func putItems(buf []byte, items []Item) []byte {
+	buf = putU32(buf, uint32(len(items)))
+	for _, it := range items {
+		buf = putString(buf, it.Key)
+		buf = putBytes(buf, it.Value)
+		buf = putTS(buf, it.UT)
+		buf = putU64(buf, uint64(it.TxID))
+		buf = putU32(buf, uint32(it.SrcDC))
+	}
+	return buf
+}
+
+// --- decode helpers ---
+
+// reader consumes a buffer with sticky error handling: after the first
+// failure every accessor returns zero values and the error survives for the
+// caller to report.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || len(r.buf) < 2 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.buf)
+	r.buf = r.buf[2:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.buf) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf)
+	r.buf = r.buf[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || len(r.buf) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v
+}
+
+func (r *reader) ts() hlc.Timestamp { return hlc.Timestamp(r.u64()) }
+
+// sliceLen reads a count prefix and validates it against both the sanity cap
+// and the bytes actually remaining (each element needs ≥1 byte).
+func (r *reader) sliceLen() int {
+	n := r.u32()
+	if r.err != nil {
+		return 0
+	}
+	if n > maxSliceLen || int(n) > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) string() string {
+	n := r.u32()
+	if r.err != nil || uint32(len(r.buf)) < n || n > maxSliceLen {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}
+
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil || uint32(len(r.buf)) < n || n > maxSliceLen {
+		r.fail()
+		return nil
+	}
+	var b []byte
+	if n > 0 {
+		b = make([]byte, n)
+		copy(b, r.buf[:n])
+	}
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *reader) strings() []string {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	// Each string costs at least 4 bytes (its length prefix).
+	if n > maxSliceLen || int(n)*4 > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	ss := make([]string, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		ss = append(ss, r.string())
+	}
+	return ss
+}
+
+func (r *reader) tss() []hlc.Timestamp {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxSliceLen || int(n)*8 > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	tss := make([]hlc.Timestamp, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		tss = append(tss, r.ts())
+	}
+	return tss
+}
+
+func (r *reader) kvs() []KV {
+	n := r.sliceLen()
+	if n == 0 {
+		return nil
+	}
+	kvs := make([]KV, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		kvs = append(kvs, KV{Key: r.string(), Value: r.bytes()})
+	}
+	return kvs
+}
+
+func (r *reader) items() []Item {
+	n := r.sliceLen()
+	if n == 0 {
+		return nil
+	}
+	items := make([]Item, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		items = append(items, Item{
+			Key:   r.string(),
+			Value: r.bytes(),
+			UT:    r.ts(),
+			TxID:  TxID(r.u64()),
+			SrcDC: topology.DCID(r.u32()),
+		})
+	}
+	return items
+}

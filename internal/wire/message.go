@@ -1,0 +1,366 @@
+// Package wire defines the PaRiS message vocabulary — every request, reply
+// and one-way notification exchanged by Algorithms 1–4 of the paper, plus the
+// stabilization and garbage-collection gossip — and a compact binary codec
+// used by the TCP transport. The in-memory transport passes these values
+// directly (no serialization), so both transports share one vocabulary.
+package wire
+
+import (
+	"fmt"
+
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/topology"
+)
+
+// TxID uniquely identifies a transaction. It packs the coordinator's DC (high
+// 8 bits), the coordinator's partition (next 16 bits) and a per-coordinator
+// sequence number (low 40 bits). Besides uniqueness, TxID participates in the
+// total order used by last-writer-wins conflict resolution (§II-B: ties on
+// timestamp are settled by transaction id then source DC).
+type TxID uint64
+
+// NewTxID builds a TxID for the seq-th transaction coordinated by partition p
+// of data center dc.
+func NewTxID(dc topology.DCID, p topology.PartitionID, seq uint64) TxID {
+	return TxID(uint64(uint8(dc))<<56 | uint64(uint16(p))<<40 | seq&(1<<40-1))
+}
+
+// String renders the TxID as "dc/partition/seq".
+func (id TxID) String() string {
+	return fmt.Sprintf("%d/%d/%d", uint64(id)>>56, uint64(id)>>40&0xffff, uint64(id)&(1<<40-1))
+}
+
+// KV is a key-value pair in a transaction's write-set.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Item is a stored key version: the tuple ⟨k, v, ut, idT , sr⟩ of §IV-A.
+type Item struct {
+	Key   string
+	Value []byte
+	// UT is the update (commit) timestamp that places the version in a
+	// snapshot.
+	UT hlc.Timestamp
+	// TxID identifies the transaction that created the version.
+	TxID TxID
+	// SrcDC is the data center where the version was created.
+	SrcDC topology.DCID
+}
+
+// Less orders two versions of the same key by (UT, TxID, SrcDC) — the total
+// order PaRiS uses for last-writer-wins (§IV-B Read).
+func (it Item) Less(other Item) bool {
+	if it.UT != other.UT {
+		return it.UT < other.UT
+	}
+	if it.TxID != other.TxID {
+		return it.TxID < other.TxID
+	}
+	return it.SrcDC < other.SrcDC
+}
+
+// Kind enumerates message types. Values are part of the wire format.
+type Kind uint8
+
+const (
+	// KindStartTxReq begins a transaction (Alg. 1 line 2 / Alg. 2 line 1).
+	KindStartTxReq Kind = iota + 1
+	// KindStartTxResp returns the transaction id and snapshot.
+	KindStartTxResp
+	// KindReadReq asks the coordinator to read keys (Alg. 1 line 15).
+	KindReadReq
+	// KindReadResp returns the items visible in the snapshot.
+	KindReadResp
+	// KindCommitReq asks the coordinator to commit (Alg. 1 line 27).
+	KindCommitReq
+	// KindCommitResp returns the commit timestamp.
+	KindCommitResp
+	// KindFinishTx releases coordinator state for a read-only transaction.
+	KindFinishTx
+	// KindReadSliceReq reads keys on one partition (Alg. 2 line 12).
+	KindReadSliceReq
+	// KindReadSliceResp returns the per-partition items (Alg. 3 line 8).
+	KindReadSliceResp
+	// KindPrepareReq is the 2PC prepare (Alg. 2 line 23).
+	KindPrepareReq
+	// KindPrepareResp carries the proposed prepare time (Alg. 3 line 14).
+	KindPrepareResp
+	// KindCohortCommit is the 2PC commit notification (Alg. 2 line 27).
+	KindCohortCommit
+	// KindReplicate propagates applied transactions to peer replicas
+	// (Alg. 4 line 15).
+	KindReplicate
+	// KindHeartbeat advances a peer's version vector in absence of updates
+	// (Alg. 4 line 21).
+	KindHeartbeat
+	// KindGSTUp aggregates version-vector minima up the intra-DC tree.
+	KindGSTUp
+	// KindGSTRoot exchanges aggregated vectors between DC roots.
+	KindGSTRoot
+	// KindUSTDown propagates the computed UST (and GC watermark) down the
+	// intra-DC tree.
+	KindUSTDown
+	// KindError reports a server-side failure to a caller.
+	KindError
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	names := [...]string{
+		KindStartTxReq:    "StartTxReq",
+		KindStartTxResp:   "StartTxResp",
+		KindReadReq:       "ReadReq",
+		KindReadResp:      "ReadResp",
+		KindCommitReq:     "CommitReq",
+		KindCommitResp:    "CommitResp",
+		KindFinishTx:      "FinishTx",
+		KindReadSliceReq:  "ReadSliceReq",
+		KindReadSliceResp: "ReadSliceResp",
+		KindPrepareReq:    "PrepareReq",
+		KindPrepareResp:   "PrepareResp",
+		KindCohortCommit:  "CohortCommit",
+		KindReplicate:     "Replicate",
+		KindHeartbeat:     "Heartbeat",
+		KindGSTUp:         "GSTUp",
+		KindGSTRoot:       "GSTRoot",
+		KindUSTDown:       "USTDown",
+		KindError:         "Error",
+	}
+	if int(k) < len(names) && names[k] != "" {
+		return names[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Message is implemented by every payload type.
+type Message interface {
+	Kind() Kind
+}
+
+// StartTxReq starts a transaction; ClientUST is the freshest stable snapshot
+// the client has observed (ustc), which enforces session monotonicity.
+type StartTxReq struct {
+	ClientUST hlc.Timestamp
+}
+
+// Kind implements Message.
+func (StartTxReq) Kind() Kind { return KindStartTxReq }
+
+// StartTxResp returns the new transaction's id and its snapshot timestamp.
+type StartTxResp struct {
+	TxID     TxID
+	Snapshot hlc.Timestamp
+}
+
+// Kind implements Message.
+func (StartTxResp) Kind() Kind { return KindStartTxResp }
+
+// ReadReq asks the coordinator to read Keys within transaction TxID.
+type ReadReq struct {
+	TxID TxID
+	Keys []string
+}
+
+// Kind implements Message.
+func (ReadReq) Kind() Kind { return KindReadReq }
+
+// ReadResp returns the versions visible to the transaction. Keys that have
+// never been written are absent from Items.
+type ReadResp struct {
+	Items []Item
+}
+
+// Kind implements Message.
+func (ReadResp) Kind() Kind { return KindReadResp }
+
+// CommitReq finalizes a transaction with a non-empty write-set. HWT is the
+// client's highest prior commit timestamp (hwtc), threaded through 2PC so
+// commit timestamps reflect session order.
+type CommitReq struct {
+	TxID   TxID
+	HWT    hlc.Timestamp
+	Writes []KV
+}
+
+// Kind implements Message.
+func (CommitReq) Kind() Kind { return KindCommitReq }
+
+// CommitResp returns the transaction's commit timestamp.
+type CommitResp struct {
+	CommitTS hlc.Timestamp
+}
+
+// Kind implements Message.
+func (CommitResp) Kind() Kind { return KindCommitResp }
+
+// FinishTx tells the coordinator to discard the context of a transaction
+// that committed no writes. (The paper cleans abandoned contexts with a
+// timeout; explicit cleanup is the common case.)
+type FinishTx struct {
+	TxID TxID
+}
+
+// Kind implements Message.
+func (FinishTx) Kind() Kind { return KindFinishTx }
+
+// ReadSliceReq reads Keys on a single partition within snapshot Snapshot.
+type ReadSliceReq struct {
+	Keys     []string
+	Snapshot hlc.Timestamp
+}
+
+// Kind implements Message.
+func (ReadSliceReq) Kind() Kind { return KindReadSliceReq }
+
+// ReadSliceResp carries the freshest visible version of each present key.
+type ReadSliceResp struct {
+	Items []Item
+}
+
+// Kind implements Message.
+func (ReadSliceResp) Kind() Kind { return KindReadSliceResp }
+
+// PrepareReq is the 2PC prepare message for the writes landing on one
+// partition. Snapshot is the transaction's snapshot time, HT the maximum
+// timestamp the client has observed (max of snapshot and hwtc).
+type PrepareReq struct {
+	TxID     TxID
+	Snapshot hlc.Timestamp
+	HT       hlc.Timestamp
+	Writes   []KV
+}
+
+// Kind implements Message.
+func (PrepareReq) Kind() Kind { return KindPrepareReq }
+
+// PrepareResp returns the cohort's proposed commit time.
+type PrepareResp struct {
+	TxID     TxID
+	Proposed hlc.Timestamp
+}
+
+// Kind implements Message.
+func (PrepareResp) Kind() Kind { return KindPrepareResp }
+
+// CohortCommit finalizes a prepared transaction at the chosen commit time.
+// It needs no reply: the coordinator answers the client as soon as all
+// cohorts are notified (Alg. 2 lines 27–29).
+type CohortCommit struct {
+	TxID     TxID
+	CommitTS hlc.Timestamp
+}
+
+// Kind implements Message.
+func (CohortCommit) Kind() Kind { return KindCohortCommit }
+
+// TxUpdates is one transaction's writes for a partition, as shipped by the
+// replication protocol.
+type TxUpdates struct {
+	TxID   TxID
+	SrcDC  topology.DCID
+	Writes []KV
+}
+
+// Replicate ships the transactions that committed at time CT on the sender's
+// replica to a peer replica of the same partition. All carried transactions
+// share the commit timestamp CT (Alg. 4 groups by ct before sending).
+type Replicate struct {
+	SrcDC topology.DCID
+	CT    hlc.Timestamp
+	Txns  []TxUpdates
+}
+
+// Kind implements Message.
+func (Replicate) Kind() Kind { return KindReplicate }
+
+// Heartbeat advances the receiver's version-vector entry for the sender's DC
+// when the sender has had no transactions to replicate.
+type Heartbeat struct {
+	SrcDC topology.DCID
+	TS    hlc.Timestamp
+}
+
+// Kind implements Message.
+func (Heartbeat) Kind() Kind { return KindHeartbeat }
+
+// GSTUp flows from a child to its parent in the intra-DC aggregation tree.
+// Vec[j] is the minimum, over the subtree, of the version-vector entries
+// tracking data center j (hlc.MaxTimestamp where undefined). Oldest is the
+// minimum active-snapshot watermark used for garbage collection.
+type GSTUp struct {
+	Vec    []hlc.Timestamp
+	Oldest hlc.Timestamp
+}
+
+// Kind implements Message.
+func (GSTUp) Kind() Kind { return KindGSTUp }
+
+// GSTRoot carries one DC root's aggregated vector (its GSV) to the roots of
+// the other data centers.
+type GSTRoot struct {
+	DC     topology.DCID
+	Vec    []hlc.Timestamp
+	Oldest hlc.Timestamp
+}
+
+// Kind implements Message.
+func (GSTRoot) Kind() Kind { return KindGSTRoot }
+
+// USTDown propagates the universal stable time and the garbage-collection
+// watermark from the DC root down the tree to every partition.
+type USTDown struct {
+	UST  hlc.Timestamp
+	Sold hlc.Timestamp
+}
+
+// Kind implements Message.
+func (USTDown) Kind() Kind { return KindUSTDown }
+
+// ErrorResp reports a request failure (e.g. server shutting down, unknown
+// transaction). Callers convert it into an error.
+type ErrorResp struct {
+	Code uint16
+	Msg  string
+}
+
+// Kind implements Message.
+func (ErrorResp) Kind() Kind { return KindError }
+
+// Error codes carried by ErrorResp.
+const (
+	// CodeShuttingDown: the server is stopping and rejected the request.
+	CodeShuttingDown uint16 = iota + 1
+	// CodeUnknownTx: the coordinator has no context for the transaction.
+	CodeUnknownTx
+	// CodeUnavailable: no reachable replica can serve the operation.
+	CodeUnavailable
+)
+
+// Err converts an ErrorResp into a Go error.
+func (e ErrorResp) Err() error {
+	return fmt.Errorf("wire: remote error %d: %s", e.Code, e.Msg)
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Message = StartTxReq{}
+	_ Message = StartTxResp{}
+	_ Message = ReadReq{}
+	_ Message = ReadResp{}
+	_ Message = CommitReq{}
+	_ Message = CommitResp{}
+	_ Message = FinishTx{}
+	_ Message = ReadSliceReq{}
+	_ Message = ReadSliceResp{}
+	_ Message = PrepareReq{}
+	_ Message = PrepareResp{}
+	_ Message = CohortCommit{}
+	_ Message = Replicate{}
+	_ Message = Heartbeat{}
+	_ Message = GSTUp{}
+	_ Message = GSTRoot{}
+	_ Message = USTDown{}
+	_ Message = ErrorResp{}
+)

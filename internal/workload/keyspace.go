@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"strconv"
+
+	"github.com/paris-kv/paris/internal/topology"
+)
+
+// Keyspace precomputes, for every partition, a pool of keys that hash to it.
+// The paper's workload picks partitions first (respecting locality) and then
+// draws keys zipfian *within* each partition; the pool makes that draw O(1)
+// while keeping the production key→partition hash untouched.
+type Keyspace struct {
+	topo   *topology.Topology
+	perP   int
+	pools  [][]string
+	values int // value size in bytes
+}
+
+// NewKeyspace enumerates candidate keys ("k<i>") until every partition owns
+// keysPerPartition keys. Generation is deterministic: every process in a
+// distributed run derives the same pools.
+func NewKeyspace(topo *topology.Topology, keysPerPartition int) *Keyspace {
+	n := topo.NumPartitions()
+	ks := &Keyspace{
+		topo:  topo,
+		perP:  keysPerPartition,
+		pools: make([][]string, n),
+	}
+	for p := range ks.pools {
+		ks.pools[p] = make([]string, 0, keysPerPartition)
+	}
+	remaining := n * keysPerPartition
+	for i := 0; remaining > 0; i++ {
+		key := "k" + strconv.Itoa(i)
+		p := topo.PartitionOf(key)
+		if len(ks.pools[p]) < keysPerPartition {
+			ks.pools[p] = append(ks.pools[p], key)
+			remaining--
+		}
+	}
+	return ks
+}
+
+// Key returns key number rank of partition p.
+func (ks *Keyspace) Key(p topology.PartitionID, rank uint64) string {
+	pool := ks.pools[p]
+	return pool[int(rank)%len(pool)]
+}
+
+// KeysPerPartition returns the pool size.
+func (ks *Keyspace) KeysPerPartition() int { return ks.perP }
+
+// TotalKeys returns the dataset size in keys.
+func (ks *Keyspace) TotalKeys() int { return ks.perP * ks.topo.NumPartitions() }

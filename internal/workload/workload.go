@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// Mix is a workload parameterization matching §V-A.
+type Mix struct {
+	// ReadsPerTx and WritesPerTx define the read:write ratio; the paper's
+	// workloads run 20 operations per transaction: 19:1 ("95:5", YCSB B
+	// flavor) and 10:10 ("50:50", YCSB A flavor).
+	ReadsPerTx  int
+	WritesPerTx int
+	// PartitionsPerTx is how many partitions each transaction touches
+	// (default experiment: 4).
+	PartitionsPerTx int
+	// LocalRatio is the fraction of transactions touching only partitions
+	// replicated in the client's DC (1.0 = "100:0", 0.95 = "95:5", ...).
+	LocalRatio float64
+	// Theta is the zipfian skew within a partition (YCSB default 0.99).
+	Theta float64
+	// ValueSize is the written value size in bytes (paper: 8).
+	ValueSize int
+}
+
+// The paper's named workloads.
+var (
+	// ReadHeavy is the default workload: 95:5 r:w, 95:5 local:multi.
+	ReadHeavy = Mix{ReadsPerTx: 19, WritesPerTx: 1, PartitionsPerTx: 4,
+		LocalRatio: 0.95, Theta: 0.99, ValueSize: 8}
+	// WriteHeavy is the 50:50 r:w variant.
+	WriteHeavy = Mix{ReadsPerTx: 10, WritesPerTx: 10, PartitionsPerTx: 4,
+		LocalRatio: 0.95, Theta: 0.99, ValueSize: 8}
+)
+
+// WithLocality returns a copy of m with a different local-DC:multi-DC ratio.
+func (m Mix) WithLocality(localRatio float64) Mix {
+	m.LocalRatio = localRatio
+	return m
+}
+
+// Ops returns the operations per transaction.
+func (m Mix) Ops() int { return m.ReadsPerTx + m.WritesPerTx }
+
+// String names the mix like the paper's figures ("95:5 r:w, 95:5 locality").
+func (m Mix) String() string {
+	r := 100 * m.ReadsPerTx / m.Ops()
+	return fmt.Sprintf("%d:%d r:w, %g:%g locality", r, 100-r, 100*m.LocalRatio, 100-100*m.LocalRatio)
+}
+
+// TxPlan is one generated transaction: the keys to read and the key-value
+// pairs to write.
+type TxPlan struct {
+	ReadKeys []string
+	Writes   []wire.KV
+	// MultiDC records whether the plan deliberately targeted remote
+	// partitions (for per-class reporting).
+	MultiDC bool
+}
+
+// Generator produces transaction plans for one client in one DC. It is
+// driven by a private RNG and is not safe for concurrent use: the bench
+// harness gives each worker its own Generator.
+type Generator struct {
+	mix   Mix
+	topo  *topology.Topology
+	ks    *Keyspace
+	dc    topology.DCID
+	local []topology.PartitionID
+	rng   *rand.Rand
+	zipf  *Zipf
+	buf   []byte
+}
+
+// NewGenerator builds a generator for a client homed in dc, with its own
+// deterministic RNG seed.
+func NewGenerator(mix Mix, topo *topology.Topology, ks *Keyspace, dc topology.DCID, seed int64) *Generator {
+	if mix.PartitionsPerTx <= 0 {
+		mix.PartitionsPerTx = 4
+	}
+	if mix.Theta == 0 {
+		mix.Theta = 0.99
+	}
+	if mix.ValueSize <= 0 {
+		mix.ValueSize = 8
+	}
+	return &Generator{
+		mix:   mix,
+		topo:  topo,
+		ks:    ks,
+		dc:    dc,
+		local: topo.PartitionsAt(dc),
+		rng:   rand.New(rand.NewSource(seed)),
+		zipf:  NewZipf(uint64(ks.KeysPerPartition()), mix.Theta),
+		buf:   make([]byte, mix.ValueSize),
+	}
+}
+
+// Next generates the next transaction plan.
+func (g *Generator) Next() TxPlan {
+	multi := g.rng.Float64() >= g.mix.LocalRatio
+	parts := g.pickPartitions(multi)
+
+	plan := TxPlan{MultiDC: multi}
+	ops := g.mix.Ops()
+	plan.ReadKeys = make([]string, 0, g.mix.ReadsPerTx)
+	plan.Writes = make([]wire.KV, 0, g.mix.WritesPerTx)
+	for i := 0; i < ops; i++ {
+		p := parts[i%len(parts)]
+		key := g.ks.Key(p, g.zipf.ScrambledNext(g.rng))
+		if i < g.mix.ReadsPerTx {
+			plan.ReadKeys = append(plan.ReadKeys, key)
+		} else {
+			plan.Writes = append(plan.Writes, wire.KV{Key: key, Value: g.value()})
+		}
+	}
+	return plan
+}
+
+// pickPartitions chooses the transaction's partition set without
+// duplicates: local transactions draw from the DC's own partitions, multi-DC
+// transactions from the whole system (§V-A: "touch random partitions in
+// remote DCs").
+func (g *Generator) pickPartitions(multi bool) []topology.PartitionID {
+	var pool []topology.PartitionID
+	if multi {
+		n := g.topo.NumPartitions()
+		pool = make([]topology.PartitionID, n)
+		for i := range pool {
+			pool[i] = topology.PartitionID(i)
+		}
+	} else {
+		pool = append([]topology.PartitionID(nil), g.local...)
+	}
+	k := g.mix.PartitionsPerTx
+	if k > len(pool) {
+		k = len(pool)
+	}
+	// Partial Fisher-Yates: the first k entries become the choice.
+	for i := 0; i < k; i++ {
+		j := i + g.rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool[:k]
+}
+
+// value produces a fresh random value of the configured size.
+func (g *Generator) value() []byte {
+	v := make([]byte, g.mix.ValueSize)
+	g.rng.Read(v)
+	return v
+}

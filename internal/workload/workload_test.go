@@ -1,0 +1,274 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/paris-kv/paris/internal/topology"
+)
+
+func testTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.New(5, 45, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestZipfBounds(t *testing.T) {
+	z := NewZipf(100, 0.99)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		if r := z.Next(rng); r >= 100 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		if r := z.ScrambledNext(rng); r >= 100 {
+			t.Fatalf("scrambled rank %d out of range", r)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With theta 0.99 over 1000 items, the most popular rank must dominate:
+	// YCSB's zipfian gives rank 0 roughly 1/zeta(n) ≈ 13% of draws.
+	z := NewZipf(1000, 0.99)
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, 1000)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next(rng)]++
+	}
+	p0 := float64(counts[0]) / draws
+	if p0 < 0.08 || p0 > 0.20 {
+		t.Fatalf("rank-0 probability %.3f outside [0.08,0.20]", p0)
+	}
+	// Monotone head: rank 0 beats rank 10 beats rank 100.
+	if !(counts[0] > counts[10] && counts[10] > counts[100]) {
+		t.Fatalf("zipf head not monotone: %d, %d, %d", counts[0], counts[10], counts[100])
+	}
+}
+
+func TestZipfLowThetaIsFlatter(t *testing.T) {
+	rngA := rand.New(rand.NewSource(3))
+	rngB := rand.New(rand.NewSource(3))
+	skewed := NewZipf(500, 0.99)
+	flat := NewZipf(500, 0.2)
+	const draws = 100000
+	c0s, c0f := 0, 0
+	for i := 0; i < draws; i++ {
+		if skewed.Next(rngA) == 0 {
+			c0s++
+		}
+		if flat.Next(rngB) == 0 {
+			c0f++
+		}
+	}
+	if c0s <= c0f {
+		t.Fatalf("theta .99 (%d) not more skewed than theta .2 (%d)", c0s, c0f)
+	}
+}
+
+func TestZipfScrambleSpreadsHotKeys(t *testing.T) {
+	// Scrambling must move the hot ranks away from 0..k while preserving a
+	// hot set: the top item should no longer be rank 0 with overwhelming
+	// probability.
+	z := NewZipf(1000, 0.99)
+	rng := rand.New(rand.NewSource(11))
+	counts := make(map[uint64]int)
+	for i := 0; i < 100000; i++ {
+		counts[z.ScrambledNext(rng)]++
+	}
+	top, topCount := uint64(0), 0
+	for r, c := range counts {
+		if c > topCount {
+			top, topCount = r, c
+		}
+	}
+	if top == 0 {
+		t.Fatal("scramble left the hottest key at rank 0")
+	}
+	if float64(topCount)/100000 < 0.08 {
+		t.Fatalf("scramble destroyed skew: top freq %.3f", float64(topCount)/100000)
+	}
+}
+
+func TestZipfPanicsOnBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(0, 0.99) },
+		func() { NewZipf(10, 0) },
+		func() { NewZipf(10, 1.0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad zipf args did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKeyspacePoolsHashCorrectly(t *testing.T) {
+	topo := testTopo(t)
+	ks := NewKeyspace(topo, 50)
+	if ks.TotalKeys() != 45*50 {
+		t.Fatalf("TotalKeys = %d", ks.TotalKeys())
+	}
+	for p := 0; p < 45; p++ {
+		for r := uint64(0); r < 50; r++ {
+			key := ks.Key(topology.PartitionID(p), r)
+			if got := topo.PartitionOf(key); got != topology.PartitionID(p) {
+				t.Fatalf("key %q in pool %d hashes to %d", key, p, got)
+			}
+		}
+	}
+}
+
+func TestKeyspaceDeterministic(t *testing.T) {
+	topo := testTopo(t)
+	a, b := NewKeyspace(topo, 10), NewKeyspace(topo, 10)
+	for p := 0; p < 45; p++ {
+		for r := uint64(0); r < 10; r++ {
+			if a.Key(topology.PartitionID(p), r) != b.Key(topology.PartitionID(p), r) {
+				t.Fatal("keyspace generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestGeneratorMixCounts(t *testing.T) {
+	topo := testTopo(t)
+	ks := NewKeyspace(topo, 100)
+	g := NewGenerator(ReadHeavy, topo, ks, 0, 42)
+	for i := 0; i < 200; i++ {
+		plan := g.Next()
+		if len(plan.ReadKeys) != 19 || len(plan.Writes) != 1 {
+			t.Fatalf("read-heavy plan has %d reads, %d writes", len(plan.ReadKeys), len(plan.Writes))
+		}
+		for _, kv := range plan.Writes {
+			if len(kv.Value) != 8 {
+				t.Fatalf("value size %d, want 8", len(kv.Value))
+			}
+		}
+	}
+	g2 := NewGenerator(WriteHeavy, topo, ks, 0, 42)
+	plan := g2.Next()
+	if len(plan.ReadKeys) != 10 || len(plan.Writes) != 10 {
+		t.Fatalf("write-heavy plan has %d reads, %d writes", len(plan.ReadKeys), len(plan.Writes))
+	}
+}
+
+func TestGeneratorLocalityRespected(t *testing.T) {
+	topo := testTopo(t)
+	ks := NewKeyspace(topo, 100)
+
+	// Fully local workload: every key must be on a partition replicated in
+	// the client's DC.
+	g := NewGenerator(ReadHeavy.WithLocality(1.0), topo, ks, 2, 1)
+	for i := 0; i < 100; i++ {
+		plan := g.Next()
+		if plan.MultiDC {
+			t.Fatal("100:0 workload produced a multi-DC transaction")
+		}
+		for _, k := range plan.ReadKeys {
+			if !topo.IsReplicatedAt(topo.PartitionOf(k), 2) {
+				t.Fatalf("local plan reads non-local key %q", k)
+			}
+		}
+		for _, kv := range plan.Writes {
+			if !topo.IsReplicatedAt(topo.PartitionOf(kv.Key), 2) {
+				t.Fatalf("local plan writes non-local key %q", kv.Key)
+			}
+		}
+	}
+}
+
+func TestGeneratorLocalityFraction(t *testing.T) {
+	topo := testTopo(t)
+	ks := NewKeyspace(topo, 100)
+	g := NewGenerator(ReadHeavy.WithLocality(0.5), topo, ks, 0, 99)
+	multi := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if g.Next().MultiDC {
+			multi++
+		}
+	}
+	frac := float64(multi) / n
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("multi-DC fraction %.3f, want ≈0.5", frac)
+	}
+}
+
+func TestGeneratorPartitionsPerTx(t *testing.T) {
+	topo := testTopo(t)
+	ks := NewKeyspace(topo, 100)
+	g := NewGenerator(ReadHeavy, topo, ks, 0, 5)
+	for i := 0; i < 100; i++ {
+		plan := g.Next()
+		parts := make(map[topology.PartitionID]bool)
+		for _, k := range plan.ReadKeys {
+			parts[topo.PartitionOf(k)] = true
+		}
+		for _, kv := range plan.Writes {
+			parts[topo.PartitionOf(kv.Key)] = true
+		}
+		if len(parts) > 4 {
+			t.Fatalf("plan touches %d partitions, want ≤ 4", len(parts))
+		}
+	}
+}
+
+func TestGeneratorDeterministicPerSeed(t *testing.T) {
+	topo := testTopo(t)
+	ks := NewKeyspace(topo, 100)
+	a := NewGenerator(ReadHeavy, topo, ks, 1, 7)
+	b := NewGenerator(ReadHeavy, topo, ks, 1, 7)
+	for i := 0; i < 50; i++ {
+		pa, pb := a.Next(), b.Next()
+		if len(pa.ReadKeys) != len(pb.ReadKeys) {
+			t.Fatal("generators diverged")
+		}
+		for j := range pa.ReadKeys {
+			if pa.ReadKeys[j] != pb.ReadKeys[j] {
+				t.Fatal("generators diverged on keys")
+			}
+		}
+	}
+}
+
+func TestMixString(t *testing.T) {
+	if got := ReadHeavy.String(); got == "" {
+		t.Fatal("empty mix name")
+	}
+	if ReadHeavy.Ops() != 20 || WriteHeavy.Ops() != 20 {
+		t.Fatal("paper workloads must have 20 ops/tx")
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	z := NewZipf(100000, 0.99)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.ScrambledNext(rng)
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	topo, err := topology.New(5, 45, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ks := NewKeyspace(topo, 100)
+	g := NewGenerator(ReadHeavy, topo, ks, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}

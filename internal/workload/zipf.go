@@ -1,0 +1,96 @@
+// Package workload generates the paper's YCSB-style benchmark workloads
+// (§V-A): transactions of 20 operations with 95:5 or 50:50 read:write mixes,
+// keys drawn zipfian (θ = 0.99) within partitions, 8-byte values, and a
+// configurable fraction of transactions that touch only partitions
+// replicated in the client's local DC ("local-DC") versus random partitions
+// anywhere ("multi-DC").
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf draws ranks in [0, n) with the YCSB zipfian distribution: rank r is
+// proportional to 1/(r+1)^theta, with the Gray et al. rejection-free inverse
+// method YCSB uses. Unlike math/rand's Zipf it supports arbitrary theta < 1
+// and matches YCSB's constants, so skew-sensitive results are comparable.
+//
+// A Zipf is driven by an external *rand.Rand and is not safe for concurrent
+// use; give each worker goroutine its own.
+type Zipf struct {
+	n     uint64
+	theta float64
+
+	alpha, zetan, eta, zeta2 float64
+}
+
+// NewZipf builds a generator over [0, n) with skew theta (YCSB default
+// 0.99). It panics if n == 0 or theta is outside (0, 1): both indicate a
+// programming error in benchmark setup, not a runtime condition.
+func NewZipf(n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("workload: zipf over empty range")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("workload: zipf theta must be in (0,1)")
+	}
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// zeta computes the generalized harmonic number Σ 1/i^theta for i in [1, n].
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next rank: 0 is the most popular.
+func (z *Zipf) Next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	r := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}
+
+// N returns the range size.
+func (z *Zipf) N() uint64 { return z.n }
+
+// fnv64 hashes a uint64 (used to scramble zipfian ranks so popular keys
+// spread across the keyspace, as YCSB's scrambled_zipfian does).
+func fnv64(v uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime64
+		v >>= 8
+	}
+	return h
+}
+
+// ScrambledNext draws a zipfian rank and scrambles it uniformly over [0, n):
+// popularity keeps the zipfian profile but popular items land at arbitrary
+// positions.
+func (z *Zipf) ScrambledNext(rng *rand.Rand) uint64 {
+	return fnv64(z.Next(rng)) % z.n
+}

@@ -1,0 +1,272 @@
+// Package paris is a from-scratch Go implementation of PaRiS (Spirovska,
+// Didona, Zwaenepoel — ICDCS 2019): Transactional Causal Consistency with
+// partial replication and non-blocking parallel reads, built on the
+// Universal Stable Time (UST) dependency-tracking protocol.
+//
+// A Cluster embeds a full multi-data-center deployment in one process: one
+// goroutine-backed server per partition replica, connected by a simulated
+// WAN whose latencies follow the paper's ten-region AWS geography. Sessions
+// run interactive read-write transactions against it:
+//
+//	cluster, _ := paris.NewCluster(paris.DefaultConfig())
+//	defer cluster.Close()
+//	s, _ := cluster.NewSession(0) // a client in DC 0
+//	defer s.Close()
+//
+//	_ = s.Update(ctx, func(tx *paris.Tx) error {
+//		tx.Write("user:alice", []byte("hi"))
+//		return nil
+//	})
+//
+// The same servers also run over real TCP (cmd/paris-server) for
+// multi-process deployments.
+package paris
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/paris-kv/paris/internal/client"
+	"github.com/paris-kv/paris/internal/clock"
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/server"
+	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/transport"
+)
+
+// Timestamp re-exports the hybrid logical timestamp used for snapshots and
+// commit times.
+type Timestamp = hlc.Timestamp
+
+// DCID identifies a data center.
+type DCID = topology.DCID
+
+// Cluster is an embedded multi-DC PaRiS deployment.
+type Cluster struct {
+	cfg     Config
+	topo    *topology.Topology
+	net     *transport.MemNet
+	servers map[topology.NodeID]*server.Server
+
+	resolvers *resolverTable
+
+	mu        sync.Mutex
+	clientSeq map[topology.DCID]int32
+	coordSeq  map[topology.DCID]int
+	closed    bool
+}
+
+// NewCluster builds and starts a cluster: topology, simulated WAN, and one
+// server per partition replica.
+func NewCluster(cfg Config) (*Cluster, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	topo, err := topology.New(full.NumDCs, full.NumPartitions, full.ReplicationFactor)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:       full,
+		topo:      topo,
+		net:       transport.NewMemNet(full.Latency),
+		servers:   make(map[topology.NodeID]*server.Server),
+		clientSeq: make(map[topology.DCID]int32),
+		coordSeq:  make(map[topology.DCID]int),
+		resolvers: newResolverTable(full.Resolvers),
+	}
+	var selector topology.Selector
+	if full.PreferNearestReplica {
+		if geo, ok := full.Latency.(*transport.GeoModel); ok {
+			selector = topology.NewDistanceSelector(topo, func(a, b topology.DCID) float64 {
+				return float64(geo.RTTBetween(a, b))
+			})
+		}
+	}
+	rng := rand.New(rand.NewSource(full.Seed))
+	base := clock.System{}
+	for _, id := range topo.AllServers() {
+		var src clock.Source = base
+		if full.ClockSkew > 0 {
+			skew := time.Duration(rng.Int63n(int64(2*full.ClockSkew))) - full.ClockSkew
+			src = clock.NewSkewed(base, skew, 0)
+		}
+		srv, err := server.New(server.Config{
+			ID:               id,
+			Topology:         topo,
+			Mode:             full.Mode,
+			Selector:         selector,
+			Clock:            src,
+			ApplyInterval:    full.ApplyInterval,
+			GossipInterval:   full.GossipInterval,
+			USTInterval:      full.USTInterval,
+			GCInterval:       full.GCInterval,
+			TxContextTTL:     full.TxContextTTL,
+			VisibilitySample: full.VisibilitySample,
+			ResolverFor:      c.resolvers.storeResolverFor,
+		})
+		if err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		ep, err := c.net.Register(id, srv.Peer())
+		if err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		srv.Peer().Attach(ep)
+		c.servers[id] = srv
+	}
+	for _, srv := range c.servers {
+		srv.Start()
+	}
+	return c, nil
+}
+
+// Topology returns the cluster's deployment shape.
+func (c *Cluster) Topology() *topology.Topology { return c.topo }
+
+// Config returns the cluster's effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Net exposes the simulated network for fault injection (partitions) and
+// message accounting.
+func (c *Cluster) Net() *transport.MemNet { return c.net }
+
+// Server returns the replica of partition p hosted in dc, or nil when dc
+// does not replicate p.
+func (c *Cluster) Server(dc DCID, p int) *server.Server {
+	return c.servers[topology.ServerID(dc, topology.PartitionID(p))]
+}
+
+// Servers returns every server in the cluster.
+func (c *Cluster) Servers() []*server.Server {
+	out := make([]*server.Server, 0, len(c.servers))
+	for _, s := range c.servers {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Close stops every server and the network.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, srv := range c.servers {
+		wg.Add(1)
+		go func(s *server.Server) {
+			defer wg.Done()
+			s.Stop()
+		}(srv)
+	}
+	wg.Wait()
+	return c.net.Close()
+}
+
+// NewSession opens a client session homed in dc. The coordinator is chosen
+// round-robin among the partitions the DC hosts, emulating the paper's
+// client placement (one client process per partition, collocated with its
+// coordinator).
+func (c *Cluster) NewSession(dc DCID) (*Session, error) {
+	local := c.topo.PartitionsAt(dc)
+	if len(local) == 0 {
+		return nil, fmt.Errorf("paris: DC %d hosts no partitions", dc)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("paris: cluster closed")
+	}
+	seq := c.clientSeq[dc]
+	c.clientSeq[dc] = seq + 1
+	coord := local[c.coordSeq[dc]%len(local)]
+	c.coordSeq[dc]++
+	c.mu.Unlock()
+	return c.newSessionAt(dc, seq, coord)
+}
+
+// NewSessionAt opens a session with an explicit coordinator partition.
+func (c *Cluster) NewSessionAt(dc DCID, partition int) (*Session, error) {
+	p := topology.PartitionID(partition)
+	if !c.topo.IsReplicatedAt(p, dc) {
+		return nil, fmt.Errorf("paris: DC %d does not replicate partition %d", dc, partition)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("paris: cluster closed")
+	}
+	seq := c.clientSeq[dc]
+	c.clientSeq[dc] = seq + 1
+	c.mu.Unlock()
+	return c.newSessionAt(dc, seq, p)
+}
+
+func (c *Cluster) newSessionAt(dc DCID, seq int32, coord topology.PartitionID) (*Session, error) {
+	return c.newSessionOpts(dc, seq, coord, false)
+}
+
+// newSessionOpts is the full-option session constructor; disableCache is a
+// harness hook for the cache ablation (never disable the cache otherwise).
+func (c *Cluster) newSessionOpts(dc DCID, seq int32, coord topology.PartitionID, disableCache bool) (*Session, error) {
+	mode := client.ModeNonBlocking
+	if c.cfg.Mode == ModeBlocking {
+		mode = client.ModeBlocking
+	}
+	cl, err := client.New(client.Config{
+		ID:           topology.ClientID(dc, seq),
+		Coordinator:  topology.ServerID(dc, coord),
+		Mode:         mode,
+		DisableCache: disableCache,
+		CacheBypass:  c.resolvers.cacheBypass,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ep, err := c.net.Register(cl.ID(), cl.Peer())
+	if err != nil {
+		return nil, err
+	}
+	cl.Peer().Attach(ep)
+	return &Session{c: cl, ep: ep}, nil
+}
+
+// PartitionOf exposes the key→partition hash.
+func (c *Cluster) PartitionOf(key string) int { return int(c.topo.PartitionOf(key)) }
+
+// MinUST returns the smallest UST across all servers — the stable snapshot
+// guaranteed visible everywhere.
+func (c *Cluster) MinUST() Timestamp {
+	low := hlc.MaxTimestamp
+	for _, s := range c.servers {
+		if ust := s.UST(); ust < low {
+			low = ust
+		}
+	}
+	return low
+}
+
+// WaitForUST blocks until every server's UST reaches ts or the timeout
+// expires; it reports whether the target was reached. Tests use it to wait
+// for writes to become universally visible.
+func (c *Cluster) WaitForUST(ts Timestamp, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.MinUST() >= ts {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,116 @@
+package paris
+
+import (
+	"context"
+	"sort"
+	"strings"
+
+	"github.com/paris-kv/paris/internal/crdt"
+	"github.com/paris-kv/paris/internal/store"
+)
+
+// ResolverKind names a conflict-resolution mechanism for a key range. The
+// paper's default is last-writer-wins; §II-B allows any commutative,
+// associative merge, which this implementation supports per key prefix.
+type ResolverKind uint8
+
+const (
+	// ResolverLWW is the paper's default: the newest version under the
+	// (timestamp, transaction id, source DC) total order wins.
+	ResolverLWW ResolverKind = iota + 1
+	// ResolverCounter treats writes as signed deltas and reads as their sum
+	// (an operation-based PN-counter). Use Tx.AddCounter / Tx.ReadCounter.
+	ResolverCounter
+	// ResolverGSet treats writes as set additions and reads as their union
+	// (a grow-only set). Use Tx.AddToSet / Tx.ReadSet.
+	ResolverGSet
+)
+
+// resolverTable maps key prefixes to resolvers with longest-prefix match.
+type resolverTable struct {
+	prefixes []string // sorted longest-first
+	kinds    map[string]ResolverKind
+}
+
+func newResolverTable(rules map[string]ResolverKind) *resolverTable {
+	if len(rules) == 0 {
+		return nil
+	}
+	t := &resolverTable{kinds: make(map[string]ResolverKind, len(rules))}
+	for prefix, kind := range rules {
+		t.prefixes = append(t.prefixes, prefix)
+		t.kinds[prefix] = kind
+	}
+	sort.Slice(t.prefixes, func(i, j int) bool {
+		return len(t.prefixes[i]) > len(t.prefixes[j])
+	})
+	return t
+}
+
+// kindFor returns the resolver kind governing a key (ResolverLWW when no
+// rule matches).
+func (t *resolverTable) kindFor(key string) ResolverKind {
+	if t == nil {
+		return ResolverLWW
+	}
+	for _, p := range t.prefixes {
+		if strings.HasPrefix(key, p) {
+			return t.kinds[p]
+		}
+	}
+	return ResolverLWW
+}
+
+// storeResolverFor adapts the table to the server/store hook. LWW returns
+// nil: the store's plain read path is already last-writer-wins and cheaper.
+func (t *resolverTable) storeResolverFor(key string) store.Resolver {
+	switch t.kindFor(key) {
+	case ResolverCounter:
+		return crdt.Counter{}
+	case ResolverGSet:
+		return crdt.GSet{}
+	default:
+		return nil
+	}
+}
+
+// cacheBypass reports whether the client must skip its local caches for a
+// key (merged-value keys cannot be answered from single buffered writes).
+func (t *resolverTable) cacheBypass(key string) bool {
+	return t != nil && t.kindFor(key) != ResolverLWW
+}
+
+// --- transaction helpers for resolver-typed keys ---
+
+// AddCounter buffers a counter increment (negative deltas decrement). The
+// key must be governed by ResolverCounter.
+func (t *Tx) AddCounter(key string, delta int64) error {
+	return t.Write(key, crdt.EncodeDelta(delta))
+}
+
+// ReadCounter reads the merged counter value at the transaction snapshot.
+// Unwritten counters read as zero. Increments by this session that are not
+// yet universally stable are not reflected (counter reads come from the
+// stable snapshot; see DESIGN.md).
+func (t *Tx) ReadCounter(ctx context.Context, key string) (int64, error) {
+	raw, _, err := t.ReadOne(ctx, key)
+	if err != nil {
+		return 0, err
+	}
+	return crdt.DecodeValue(raw), nil
+}
+
+// AddToSet buffers additions to a grow-only set. The key must be governed
+// by ResolverGSet.
+func (t *Tx) AddToSet(key string, elems ...string) error {
+	return t.Write(key, crdt.EncodeElements(elems...))
+}
+
+// ReadSet reads the merged set membership at the transaction snapshot.
+func (t *Tx) ReadSet(ctx context.Context, key string) ([]string, error) {
+	raw, ok, err := t.ReadOne(ctx, key)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return crdt.DecodeElements(raw), nil
+}

@@ -1,0 +1,298 @@
+package paris
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func counterConfig() Config {
+	cfg := testConfig()
+	cfg.Resolvers = map[string]ResolverKind{
+		"cnt:": ResolverCounter,
+		"set:": ResolverGSet,
+	}
+	return cfg
+}
+
+func TestCounterConcurrentIncrementsSum(t *testing.T) {
+	// §II-B: conflicting writes are resolved by a commutative, associative
+	// function. Concurrent increments from every DC must all count — unlike
+	// last-writer-wins, where concurrent +1s would overwrite each other.
+	c := newTestCluster(t, counterConfig())
+	ctx := context.Background()
+
+	const (
+		sessionsPerDC = 2
+		incsPerSess   = 10
+	)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		last Timestamp
+	)
+	for dc := DCID(0); dc < 3; dc++ {
+		for i := 0; i < sessionsPerDC; i++ {
+			wg.Add(1)
+			go func(dc DCID) {
+				defer wg.Done()
+				s, err := c.NewSession(dc)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer s.Close()
+				for n := 0; n < incsPerSess; n++ {
+					ct, err := s.Update(ctx, func(tx *Tx) error {
+						return tx.AddCounter("cnt:page-views", 1)
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					mu.Lock()
+					if ct > last {
+						last = ct
+					}
+					mu.Unlock()
+				}
+			}(dc)
+		}
+	}
+	wg.Wait()
+	if !c.WaitForUST(last, 10*time.Second) {
+		t.Fatal("UST stalled")
+	}
+
+	want := int64(3 * sessionsPerDC * incsPerSess)
+	for dc := DCID(0); dc < 3; dc++ {
+		s, err := c.NewSession(dc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got int64
+		err = s.View(ctx, func(tx *Tx) error {
+			var err error
+			got, err = tx.ReadCounter(ctx, "cnt:page-views")
+			return err
+		})
+		s.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("DC %d counter = %d, want %d (increments lost to LWW?)", dc, got, want)
+		}
+	}
+}
+
+func TestCounterNegativeDeltasAndUnwrittenZero(t *testing.T) {
+	c := newTestCluster(t, counterConfig())
+	ctx := context.Background()
+	s, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Unwritten counters read zero.
+	err = s.View(ctx, func(tx *Tx) error {
+		v, err := tx.ReadCounter(ctx, "cnt:fresh")
+		if err == nil && v != 0 {
+			return fmt.Errorf("fresh counter = %d", v)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ct1, err := s.Update(ctx, func(tx *Tx) error { return tx.AddCounter("cnt:bal", 100) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := s.Update(ctx, func(tx *Tx) error { return tx.AddCounter("cnt:bal", -30) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ct1
+	if !c.WaitForUST(ct2, 5*time.Second) {
+		t.Fatal("UST stalled")
+	}
+	var got int64
+	err = s.View(ctx, func(tx *Tx) error {
+		var err error
+		got, err = tx.ReadCounter(ctx, "cnt:bal")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 70 {
+		t.Fatalf("balance = %d, want 70", got)
+	}
+}
+
+func TestGSetConcurrentAddsUnion(t *testing.T) {
+	c := newTestCluster(t, counterConfig())
+	ctx := context.Background()
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		last Timestamp
+		want []string
+	)
+	for dc := DCID(0); dc < 3; dc++ {
+		elem := fmt.Sprintf("member-from-dc%d", dc)
+		want = append(want, elem)
+		wg.Add(1)
+		go func(dc DCID, elem string) {
+			defer wg.Done()
+			s, err := c.NewSession(dc)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Close()
+			ct, err := s.Update(ctx, func(tx *Tx) error {
+				return tx.AddToSet("set:members", elem)
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			if ct > last {
+				last = ct
+			}
+			mu.Unlock()
+		}(dc, elem)
+	}
+	wg.Wait()
+	sort.Strings(want)
+	if !c.WaitForUST(last, 10*time.Second) {
+		t.Fatal("UST stalled")
+	}
+
+	s, err := c.NewSession(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var got []string
+	err = s.View(ctx, func(tx *Tx) error {
+		var err error
+		got, err = tx.ReadSet(ctx, "set:members")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("set = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("set = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCounterSurvivesGarbageCollection(t *testing.T) {
+	cfg := counterConfig()
+	cfg.GCInterval = 5 * time.Millisecond
+	c := newTestCluster(t, cfg)
+	ctx := context.Background()
+	s, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var last Timestamp
+	const n = 40
+	for i := 0; i < n; i++ {
+		ct, err := s.Update(ctx, func(tx *Tx) error { return tx.AddCounter("cnt:gc", 1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = ct
+	}
+	if !c.WaitForUST(last, 5*time.Second) {
+		t.Fatal("UST stalled")
+	}
+
+	// Wait for compaction to shrink the chain on every replica, then verify
+	// the sum survived folding.
+	p := c.PartitionOf("cnt:gc")
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		maxVersions := 0
+		for _, dc := range c.Topology().ReplicaDCs(c.Topology().PartitionOf("cnt:gc")) {
+			if v := c.Server(dc, p).Store().VersionCount("cnt:gc"); v > maxVersions {
+				maxVersions = v
+			}
+		}
+		if maxVersions < n/2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("compaction left %d versions", maxVersions)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var got int64
+	err = s.View(ctx, func(tx *Tx) error {
+		var err error
+		got, err = tx.ReadCounter(ctx, "cnt:gc")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("counter after GC = %d, want %d (compaction lost deltas)", got, n)
+	}
+}
+
+func TestResolverTableLongestPrefixWins(t *testing.T) {
+	table := newResolverTable(map[string]ResolverKind{
+		"cnt:":      ResolverCounter,
+		"cnt:sets:": ResolverGSet,
+		"plain:":    ResolverLWW,
+	})
+	cases := []struct {
+		key  string
+		want ResolverKind
+	}{
+		{"cnt:hits", ResolverCounter},
+		{"cnt:sets:tags", ResolverGSet},
+		{"plain:x", ResolverLWW},
+		{"other", ResolverLWW},
+	}
+	for _, c := range cases {
+		if got := table.kindFor(c.key); got != c.want {
+			t.Errorf("kindFor(%q) = %v, want %v", c.key, got, c.want)
+		}
+	}
+	// nil table: everything LWW, nothing bypassed.
+	var nilTable *resolverTable
+	if nilTable.kindFor("x") != ResolverLWW || nilTable.cacheBypass("x") {
+		t.Fatal("nil table misbehaves")
+	}
+	if nilTable.storeResolverFor("x") != nil {
+		t.Fatal("nil table returned a resolver")
+	}
+	// LWW rules do not bypass the cache.
+	if table.cacheBypass("plain:x") {
+		t.Fatal("LWW key bypasses cache")
+	}
+	if !table.cacheBypass("cnt:hits") {
+		t.Fatal("counter key does not bypass cache")
+	}
+}

@@ -1,0 +1,198 @@
+package paris
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/paris-kv/paris/internal/check"
+	"github.com/paris-kv/paris/internal/workload"
+)
+
+// TestPartitionChurnPreservesTCC runs a concurrent mixed workload while a DC
+// is repeatedly partitioned from and rejoined to the WAN, then validates the
+// full recorded history with the offline TCC checker. Network partitions
+// must degrade freshness (UST freezes) but never consistency.
+func TestPartitionChurnPreservesTCC(t *testing.T) {
+	cfg := testConfig()
+	c := newTestCluster(t, cfg)
+	ctx := context.Background()
+
+	const (
+		sessions     = 6
+		txPerSession = 40
+	)
+	mix := workload.Mix{ReadsPerTx: 5, WritesPerTx: 2, PartitionsPerTx: 3,
+		LocalRatio: 0.7, Theta: 0.8, ValueSize: 8}
+	ks := workload.NewKeyspace(c.Topology(), 20)
+
+	// Churn goroutine: isolate DC 2, hold, heal, repeat.
+	churnDone := make(chan struct{})
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-churnDone:
+				c.Net().IsolateDC(2, false, 3) // always heal on exit
+				return
+			case <-time.After(40 * time.Millisecond):
+			}
+			c.Net().IsolateDC(2, i%2 == 0, 3)
+		}
+	}()
+
+	histories := make([]*check.History, sessions)
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Only DCs 0 and 1 host clients: DC 2 is the one being cut off,
+			// and the paper's availability property (§III-C) covers clients
+			// in connected DCs. Transactions that need DC-2 replicas stall
+			// until heal (the churn period is shorter than the call timeout).
+			dc := DCID(i % 2)
+			sess, err := c.NewSession(dc)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer sess.Close()
+			rs := &recordingSession{s: sess, id: i, history: &check.History{}}
+			histories[i] = rs.history
+			gen := workload.NewGenerator(mix, c.Topology(), ks, dc, int64(2000+i))
+			for n := 0; n < txPerSession; n++ {
+				if err := rs.runPlan(ctx, gen.Next()); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(churnDone)
+	churnWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	merged := &check.History{}
+	for _, h := range histories {
+		if h != nil {
+			merged.Merge(h)
+		}
+	}
+	if merged.Len() == 0 {
+		t.Fatal("no transactions recorded")
+	}
+	if vs := merged.Check(); len(vs) != 0 {
+		for i, v := range vs {
+			if i > 5 {
+				break
+			}
+			t.Error(v)
+		}
+		t.Fatalf("TCC violations under partition churn: %d", len(vs))
+	}
+}
+
+// TestHighContentionSingleKey drives every session at one key from every DC
+// — the worst case for last-writer-wins convergence and for the apply loop's
+// same-timestamp grouping — and checks all replicas agree afterwards.
+func TestHighContentionSingleKey(t *testing.T) {
+	c := newTestCluster(t, testConfig())
+	ctx := context.Background()
+
+	const (
+		sessions = 9
+		writes   = 25
+	)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		last Timestamp
+	)
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := c.NewSession(DCID(i % 3))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer s.Close()
+			for n := 0; n < writes; n++ {
+				ct, err := s.Put(ctx, map[string][]byte{
+					"hotspot": []byte{byte(i), byte(n)},
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				mu.Lock()
+				if ct > last {
+					last = ct
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if !c.WaitForUST(last, 10*time.Second) {
+		t.Fatal("UST stalled")
+	}
+
+	p := c.Topology().PartitionOf("hotspot")
+	var winner []byte
+	for _, dc := range c.Topology().ReplicaDCs(p) {
+		item, ok := c.Server(dc, int(p)).Store().ReadLatest("hotspot")
+		if !ok {
+			t.Fatalf("replica %d lost the key", dc)
+		}
+		if winner == nil {
+			winner = item.Value
+		} else if string(winner) != string(item.Value) {
+			t.Fatalf("replicas diverged after contention: %v vs %v", winner, item.Value)
+		}
+	}
+}
+
+// TestManySessionsLifecycle opens and closes many sessions concurrently,
+// exercising client registration/cleanup paths for leaks and races.
+func TestManySessionsLifecycle(t *testing.T) {
+	c := newTestCluster(t, testConfig())
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 60)
+	for i := 0; i < 60; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := c.NewSession(DCID(i % 3))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer s.Close()
+			if _, err := s.Put(ctx, map[string][]byte{"life": []byte{byte(i)}}); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
