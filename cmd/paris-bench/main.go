@@ -1,13 +1,19 @@
 // Command paris-bench regenerates the paper's tables and figures (§V) on an
-// embedded cluster. Each experiment prints the rows/series the corresponding
-// figure plots; shapes are comparable with the paper, absolute numbers are
-// single-host simulation numbers.
+// embedded cluster, plus this repository's own performance experiments. Each
+// experiment prints the rows/series the corresponding figure plots; shapes
+// are comparable with the paper, absolute numbers are single-host simulation
+// numbers.
 //
 // Usage:
 //
 //	paris-bench -experiment fig1a            # Fig. 1a (95:5)
+//	paris-bench -experiment batching         # batched vs unbatched replication
 //	paris-bench -experiment all -quick       # everything, fast settings
 //	paris-bench -list
+//
+// With -json-dir DIR every experiment additionally writes a machine-readable
+// BENCH_<name>.json (ops, p50/p95/p99, messages/op) so the performance
+// trajectory can be tracked across PRs.
 package main
 
 import (
@@ -24,7 +30,7 @@ import (
 var experiments = []struct {
 	name string
 	desc string
-	run  func(bench.Options) error
+	run  func(bench.Options) (*bench.Report, error)
 }{
 	{"fig1a", "throughput vs latency, 95:5 r:w, PaRiS vs BPR (Fig. 1a)", runFig1a},
 	{"fig1b", "throughput vs latency, 50:50 r:w, PaRiS vs BPR (Fig. 1b)", runFig1b},
@@ -33,18 +39,25 @@ var experiments = []struct {
 	{"fig2b", "throughput vs DCs at 6 and 12 machines/DC (Fig. 2b)", runFig2b},
 	{"fig3", "throughput and latency vs transaction locality (Fig. 3)", runFig3},
 	{"fig4", "update visibility latency CDF, PaRiS vs BPR (Fig. 4)", runFig4},
+	{"batching", "replication messages/op, batched vs unbatched pipeline", runBatching},
 	{"table1", "taxonomy of causally consistent systems (Table I)", runTable1},
 }
 
 func main() {
 	var (
-		expName  = flag.String("experiment", "all", "experiment id (see -list)")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		quick    = flag.Bool("quick", false, "short durations and small sweeps")
-		duration = flag.Duration("duration", 0, "measured duration per load point")
-		warmup   = flag.Duration("warmup", 0, "warmup before each load point")
-		scale    = flag.Float64("scale", 0.05, "latency scale vs real AWS geography")
-		threads  = flag.String("threads", "", "comma-separated per-DC thread sweep (e.g. 1,2,4,8)")
+		expName    = flag.String("experiment", "all", "experiment id (see -list)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		quick      = flag.Bool("quick", false, "short durations and small sweeps")
+		duration   = flag.Duration("duration", 0, "measured duration per load point")
+		warmup     = flag.Duration("warmup", 0, "warmup before each load point")
+		scale      = flag.Float64("scale", 0.05, "latency scale vs real AWS geography")
+		threads    = flag.String("threads", "", "comma-separated per-DC thread sweep (e.g. 1,2,4,8)")
+		jsonDir    = flag.String("json-dir", "", "directory for BENCH_<name>.json reports (empty disables)")
+		jsonName   = flag.String("json-name", "", "override the report name of a single experiment")
+		batchItems = flag.Int("batch-items", 0,
+			"replication batch max items (0 = default 1024, negative disables batching)")
+		batchBytes = flag.Int("batch-bytes", 0,
+			"replication batch max payload bytes (0 = default 1 MiB)")
 	)
 	flag.Parse()
 
@@ -56,10 +69,12 @@ func main() {
 	}
 
 	opts := bench.Options{
-		LatencyScale: *scale,
-		Duration:     *duration,
-		Warmup:       *warmup,
-		Out:          os.Stdout,
+		LatencyScale:  *scale,
+		Duration:      *duration,
+		Warmup:        *warmup,
+		BatchMaxItems: *batchItems,
+		BatchMaxBytes: *batchBytes,
+		Out:           os.Stdout,
 	}
 	if *quick {
 		opts.Duration = 500 * time.Millisecond
@@ -86,8 +101,19 @@ func main() {
 		ran = true
 		fmt.Printf("=== %s: %s ===\n", e.name, e.desc)
 		start := time.Now()
-		if err := e.run(opts); err != nil {
+		report, err := e.run(opts)
+		if err != nil {
 			fatalf("%s: %v", e.name, err)
+		}
+		if *jsonDir != "" && report != nil {
+			if *jsonName != "" && *expName != "all" {
+				report.Name = *jsonName
+			}
+			path, err := bench.WriteReport(*jsonDir, report)
+			if err != nil {
+				fatalf("%s: %v", e.name, err)
+			}
+			fmt.Printf("(wrote %s)\n", path)
 		}
 		fmt.Printf("(%s completed in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
@@ -101,46 +127,118 @@ func fatalf(format string, args ...interface{}) {
 	os.Exit(1)
 }
 
-func runFig1a(o bench.Options) error {
-	_, _, err := bench.Fig1(o, workload.ReadHeavy)
-	return err
+// curveReport tabulates one or two mode curves as report rows.
+func curveReport(name, desc string, curves map[string][]bench.Result) *bench.Report {
+	rep := &bench.Report{Name: name, Desc: desc}
+	for _, label := range []string{"paris", "bpr", "batched", "unbatched"} {
+		for _, r := range curves[label] {
+			rep.Rows = append(rep.Rows, bench.RowFromResult(label, r))
+		}
+	}
+	return rep
 }
 
-func runFig1b(o bench.Options) error {
-	_, _, err := bench.Fig1(o, workload.WriteHeavy)
-	return err
+func runFig1a(o bench.Options) (*bench.Report, error) {
+	parisCurve, bprCurve, err := bench.Fig1(o, workload.ReadHeavy)
+	if err != nil {
+		return nil, err
+	}
+	return curveReport("fig1a", "throughput vs latency, 95:5 r:w",
+		map[string][]bench.Result{"paris": parisCurve, "bpr": bprCurve}), nil
 }
 
-func runBlocking(o bench.Options) error {
-	_, _, err := bench.BlockingTime(o)
-	return err
+func runFig1b(o bench.Options) (*bench.Report, error) {
+	parisCurve, bprCurve, err := bench.Fig1(o, workload.WriteHeavy)
+	if err != nil {
+		return nil, err
+	}
+	return curveReport("fig1b", "throughput vs latency, 50:50 r:w",
+		map[string][]bench.Result{"paris": parisCurve, "bpr": bprCurve}), nil
 }
 
-func runFig2a(o bench.Options) error {
-	_, err := bench.Fig2a(o)
-	return err
+func runBlocking(o bench.Options) (*bench.Report, error) {
+	readHeavy, writeHeavy, err := bench.BlockingTime(o)
+	if err != nil {
+		return nil, err
+	}
+	return &bench.Report{
+		Name: "blocking",
+		Desc: "average BPR read blocking time",
+		Summary: map[string]float64{
+			"read_heavy_block_us":  float64(readHeavy.Microseconds()),
+			"write_heavy_block_us": float64(writeHeavy.Microseconds()),
+		},
+	}, nil
 }
 
-func runFig2b(o bench.Options) error {
-	_, err := bench.Fig2b(o)
-	return err
+func scaleReport(name, desc string, points []bench.ScalePoint) *bench.Report {
+	rep := &bench.Report{Name: name, Desc: desc}
+	for _, p := range points {
+		rep.Rows = append(rep.Rows, bench.RowFromResult(
+			fmt.Sprintf("dcs=%d,machines=%d", p.DCs, p.MachinesPerDC), p.Result))
+	}
+	return rep
 }
 
-func runFig3(o bench.Options) error {
-	_, err := bench.Fig3(o)
-	return err
+func runFig2a(o bench.Options) (*bench.Report, error) {
+	points, err := bench.Fig2a(o)
+	if err != nil {
+		return nil, err
+	}
+	return scaleReport("fig2a", "constant offered load vs machines/DC", points), nil
 }
 
-func runFig4(o bench.Options) error {
+func runFig2b(o bench.Options) (*bench.Report, error) {
+	points, err := bench.Fig2b(o)
+	if err != nil {
+		return nil, err
+	}
+	return scaleReport("fig2b", "constant offered load vs number of DCs", points), nil
+}
+
+func runFig3(o bench.Options) (*bench.Report, error) {
+	points, err := bench.Fig3(o)
+	if err != nil {
+		return nil, err
+	}
+	rep := &bench.Report{Name: "fig3", Desc: "locality sweep (PaRiS)"}
+	for _, p := range points {
+		rep.Rows = append(rep.Rows, bench.RowFromResult(
+			fmt.Sprintf("local=%.0f%%", p.LocalRatio*100), p.Result))
+	}
+	return rep, nil
+}
+
+func runFig4(o bench.Options) (*bench.Report, error) {
 	parisCDF, bprCDF, err := bench.Fig4(o)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println("paris CDF (latency fraction):")
 	printCDF(parisCDF)
 	fmt.Println("bpr CDF (latency fraction):")
 	printCDF(bprCDF)
-	return nil
+	rep := &bench.Report{Name: "fig4", Desc: "update visibility latency CDF", Summary: map[string]float64{}}
+	for label, cdf := range map[string][]bench.CDFPoint{"paris": parisCDF, "bpr": bprCDF} {
+		for _, q := range []float64{0.50, 0.90, 0.99} {
+			for _, p := range cdf {
+				if p.Fraction >= q {
+					rep.Summary[fmt.Sprintf("%s_vis_p%.0f_us", label, q*100)] =
+						float64(p.Value.Microseconds())
+					break
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+func runBatching(o bench.Options) (*bench.Report, error) {
+	cmp, err := bench.Batching(o)
+	if err != nil {
+		return nil, err
+	}
+	return cmp.Report("batching"), nil
 }
 
 func printCDF(cdf []bench.CDFPoint) {
@@ -161,7 +259,7 @@ func printCDF(cdf []bench.CDFPoint) {
 // causally consistent systems. PaRiS's row is what this repository
 // implements; the table is reproduced for completeness since it is part of
 // the paper's evaluation narrative.
-func runTable1(bench.Options) error {
+func runTable1(bench.Options) (*bench.Report, error) {
 	fmt.Print(`System          Txs      Nonbl.reads PartialRep Meta-data
 COPS            ROT      yes         no         O(|deps|)
 Eiger           ROT/WOT  yes         no         O(|deps|)
@@ -184,5 +282,5 @@ Bolt-on CC      none     yes         no         M
 EunomiaKV       none     yes         no         M
 PaRiS (this)    Generic  yes         yes        1 ts
 `)
-	return nil
+	return nil, nil
 }

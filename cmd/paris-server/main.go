@@ -44,6 +44,10 @@ func main() {
 		gossipInt  = flag.Duration("gossip-interval", 5*time.Millisecond, "ΔG stabilization cadence")
 		ustInt     = flag.Duration("ust-interval", 5*time.Millisecond, "ΔU UST cadence")
 		gcInt      = flag.Duration("gc-interval", time.Second, "version GC cadence (0 disables)")
+		batchItems = flag.Int("batch-max-items", 0,
+			"max write items per replication batch (0 = default 1024, negative disables batching)")
+		batchBytes = flag.Int("batch-max-bytes", 0,
+			"max approximate payload bytes per replication batch (0 = default 1 MiB)")
 	)
 	flag.Parse()
 
@@ -71,6 +75,8 @@ func main() {
 		Topology:       topo,
 		Mode:           srvMode,
 		ApplyInterval:  *applyInt,
+		BatchMaxItems:  *batchItems,
+		BatchMaxBytes:  *batchBytes,
 		GossipInterval: *gossipInt,
 		USTInterval:    *ustInt,
 		GCInterval:     *gcInt,

@@ -47,6 +47,14 @@ type Config struct {
 	// ApplyInterval is ΔR, the apply/replicate cadence. Default 5ms·scale
 	// floor 1ms.
 	ApplyInterval time.Duration
+	// BatchMaxItems caps the write items coalesced into one replication
+	// batch per destination per ΔR round. 0 selects the default (1024);
+	// negative disables batching and uses the legacy one-message-per-commit-
+	// timestamp wire protocol (the bench harness's before/after baseline).
+	BatchMaxItems int
+	// BatchMaxBytes caps the approximate encoded payload bytes per
+	// replication batch chunk. 0 selects the default (1 MiB).
+	BatchMaxBytes int
 	// GossipInterval is ΔG, the stabilization gossip cadence. Default
 	// like ApplyInterval.
 	GossipInterval time.Duration

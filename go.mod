@@ -1,0 +1,3 @@
+module github.com/paris-kv/paris
+
+go 1.24

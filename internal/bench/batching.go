@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"github.com/paris-kv/paris"
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/transport"
+	"github.com/paris-kv/paris/internal/wire"
+	"github.com/paris-kv/paris/internal/workload"
+)
+
+// This file measures the batched replication pipeline against the legacy
+// one-message-per-commit-timestamp wire protocol (see "Distributed
+// Transactional Systems Cannot Be Fast", Didona et al. 2019: per-message
+// overhead, not protocol logic, dominates throughput in TCC systems). The
+// workload and cluster are identical across the two runs; only the wire
+// protocol differs (Config.BatchMaxItems ≥ 0 vs < 0).
+
+// BatchingComparison is the outcome of the batched-vs-unbatched experiment.
+type BatchingComparison struct {
+	Batched   Result
+	Unbatched Result
+	// ReductionFactor is unbatched ÷ batched replication messages per
+	// committed transaction — the headline win of the batched pipeline.
+	ReductionFactor float64
+	// Batches and BatchedEnvelopes describe transport-level coalescing
+	// during the batched run (envelopes ÷ batches = mean batch size).
+	Batches          uint64
+	BatchedEnvelopes uint64
+	// EncodeAllocsFresh/Pooled are allocs/op encoding a representative
+	// ReplicateBatch with a fresh buffer per message versus the pooled
+	// append-into-caller-buffer path.
+	EncodeAllocsFresh  float64
+	EncodeAllocsPooled float64
+}
+
+// batchingCluster builds a small deployment for message accounting: zero
+// network latency (the metric is messages per transaction, not latency) and
+// the paper's 5 ms ΔR so rounds coalesce several commits. The batched arm
+// honors the Options overrides (cmd flags); the unbatched arm always runs
+// the legacy wire protocol.
+func batchingCluster(o Options, batched bool) (*paris.Cluster, error) {
+	cfg := paris.DefaultConfig()
+	cfg.NumDCs = 3
+	cfg.NumPartitions = 6
+	cfg.ReplicationFactor = 2
+	cfg.Latency = transport.ZeroLatency{}
+	cfg.ApplyInterval = 5 * time.Millisecond
+	cfg.GossipInterval = 5 * time.Millisecond
+	cfg.USTInterval = 5 * time.Millisecond
+	cfg.BatchMaxBytes = o.BatchMaxBytes
+	if batched {
+		cfg.BatchMaxItems = o.BatchMaxItems
+		if cfg.BatchMaxItems < 0 {
+			cfg.BatchMaxItems = 0 // the batched arm cannot opt out
+		}
+	} else {
+		cfg.BatchMaxItems = -1
+	}
+	return paris.NewCluster(cfg)
+}
+
+// Batching runs the same write-heavy closed loop once per wire protocol and
+// reports replication messages per committed transaction plus the encode
+// path's allocation profile.
+func Batching(o Options) (BatchingComparison, error) {
+	o = o.withDefaults()
+	var cmp BatchingComparison
+	run := func(batched bool) (Result, *paris.Cluster, error) {
+		cluster, err := batchingCluster(o, batched)
+		if err != nil {
+			return Result{}, nil, err
+		}
+		res, err := Run(RunConfig{
+			Cluster:          cluster,
+			Mix:              workload.WriteHeavy,
+			ThreadsPerDC:     o.SaturationThreads,
+			Duration:         o.Duration,
+			Warmup:           o.Warmup,
+			KeysPerPartition: o.KeysPerPartition,
+		})
+		if err != nil {
+			_ = cluster.Close()
+			return Result{}, nil, err
+		}
+		return res, cluster, nil
+	}
+
+	batched, cluster, err := run(true)
+	if err != nil {
+		return cmp, err
+	}
+	cmp.Batched = batched
+	cmp.Batches = cluster.Net().BatchesSent()
+	cmp.BatchedEnvelopes = cluster.Net().BatchedEnvelopes()
+	if err := cluster.Close(); err != nil {
+		return cmp, err
+	}
+
+	unbatched, cluster, err := run(false) // legacy wire protocol
+	if err != nil {
+		return cmp, err
+	}
+	cmp.Unbatched = unbatched
+	if err := cluster.Close(); err != nil {
+		return cmp, err
+	}
+
+	if per := cmp.Batched.ReplMsgsPerTx(); per > 0 {
+		cmp.ReductionFactor = cmp.Unbatched.ReplMsgsPerTx() / per
+	}
+	cmp.EncodeAllocsFresh, cmp.EncodeAllocsPooled = encodeAllocs()
+
+	o.printf("# Batching — replication messages per committed transaction\n")
+	o.printf("%-10s %-10s %-14s %-14s %-12s\n", "wire", "ktx/s", "repl-msgs/tx", "total-msgs/tx", "p99-lat")
+	for _, row := range []struct {
+		name string
+		r    Result
+	}{{"batched", cmp.Batched}, {"unbatched", cmp.Unbatched}} {
+		o.printf("%-10s %-10.1f %-14.3f %-14.3f %-12v\n", row.name,
+			row.r.ThroughputTx/1000, row.r.ReplMsgsPerTx(), row.r.MsgsPerTx(),
+			row.r.Latency.Percentile(0.99).Round(10*time.Microsecond))
+	}
+	o.printf("reduction: %.1fx fewer replication messages per committed tx\n", cmp.ReductionFactor)
+	o.printf("encode allocs/op: fresh %.1f vs pooled %.1f\n\n",
+		cmp.EncodeAllocsFresh, cmp.EncodeAllocsPooled)
+	return cmp, nil
+}
+
+// Report converts the comparison into the machine-readable form tracked
+// across PRs (BENCH_PR1.json et al).
+func (c BatchingComparison) Report(name string) *Report {
+	return &Report{
+		Name: name,
+		Desc: "replication messages/op, batched pipeline vs legacy per-commit-timestamp wire protocol",
+		Rows: []ReportRow{
+			RowFromResult("batched", c.Batched),
+			RowFromResult("unbatched", c.Unbatched),
+		},
+		Summary: map[string]float64{
+			"repl_msgs_per_op_reduction": c.ReductionFactor,
+			"batches_sent":               float64(c.Batches),
+			"batched_envelopes":          float64(c.BatchedEnvelopes),
+			"encode_allocs_per_op_fresh": c.EncodeAllocsFresh,
+			"encode_allocs_per_op":       c.EncodeAllocsPooled,
+		},
+	}
+}
+
+// encodeAllocs measures allocs/op for encoding a representative replication
+// batch with a fresh buffer per message versus the pooled append API. The
+// message is boxed into the interface once up front — the pipeline boxes a
+// round's chunks once when building them, not per encode — so the numbers
+// isolate the codec itself.
+func encodeAllocs() (fresh, pooled float64) {
+	var msg wire.Message = sampleReplicateBatch()
+	freshRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = wire.Encode(msg)
+		}
+	})
+	pooledRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf := wire.GetBuffer()
+			*buf = wire.AppendMessage(*buf, msg)
+			wire.PutBuffer(buf)
+		}
+	})
+	return float64(freshRes.AllocsPerOp()), float64(pooledRes.AllocsPerOp())
+}
+
+// sampleReplicateBatch mirrors a busy ΔR round: 8 commit-timestamp groups of
+// 4 single-partition transactions with 2 writes each.
+func sampleReplicateBatch() wire.ReplicateBatch {
+	batch := wire.ReplicateBatch{SrcDC: 1, UpTo: 10_000}
+	for g := 0; g < 8; g++ {
+		grp := wire.ReplicateGroup{CT: hlc.Timestamp(1000 + 10*g)}
+		for t := 0; t < 4; t++ {
+			tx := wire.TxUpdates{TxID: wire.TxID(g*4 + t), SrcDC: 1}
+			for w := 0; w < 2; w++ {
+				tx.Writes = append(tx.Writes, wire.KV{
+					Key:   "warehouse:stock:item-00042",
+					Value: []byte(`{"qty":17,"updated_by":"tx"}`),
+				})
+			}
+			grp.Txns = append(grp.Txns, tx)
+		}
+		batch.Groups = append(batch.Groups, grp)
+	}
+	return batch
+}

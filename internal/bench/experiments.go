@@ -25,6 +25,11 @@ type Options struct {
 	SaturationThreads int
 	// KeysPerPartition sizes the dataset.
 	KeysPerPartition int
+	// BatchMaxItems and BatchMaxBytes override the replication batching
+	// knobs on every cluster the experiments build (0 = library default,
+	// negative BatchMaxItems disables batching).
+	BatchMaxItems int
+	BatchMaxBytes int
 	// Out receives human-readable tables (nil discards them).
 	Out io.Writer
 }
@@ -65,6 +70,8 @@ func paperCluster(o Options, mode paris.Mode, visSample int) (*paris.Cluster, er
 	cfg.Mode = mode
 	cfg.LatencyScale = o.LatencyScale
 	cfg.VisibilitySample = visSample
+	cfg.BatchMaxItems = o.BatchMaxItems
+	cfg.BatchMaxBytes = o.BatchMaxBytes
 	return paris.NewCluster(cfg)
 }
 
@@ -184,6 +191,8 @@ func runScalePoint(o Options, dcs, machines int) (ScalePoint, error) {
 	cfg.ApplyInterval = 5 * time.Millisecond
 	cfg.GossipInterval = 5 * time.Millisecond
 	cfg.USTInterval = 5 * time.Millisecond
+	cfg.BatchMaxItems = o.BatchMaxItems
+	cfg.BatchMaxBytes = o.BatchMaxBytes
 	cluster, err := paris.NewCluster(cfg)
 	if err != nil {
 		return ScalePoint{}, err

@@ -8,6 +8,7 @@ import (
 
 	"github.com/paris-kv/paris"
 	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/wire"
 	"github.com/paris-kv/paris/internal/workload"
 )
 
@@ -46,6 +47,28 @@ type Result struct {
 	// Visibility holds sampled update-visibility latencies when the cluster
 	// was built with VisibilitySample > 0.
 	Visibility []time.Duration
+	// Messages counts every network envelope sent during the measured
+	// interval; ReplMessages counts only the replication channel (Replicate,
+	// ReplicateBatch, Heartbeat). Both come from the cluster's MemNet.
+	Messages     uint64
+	ReplMessages uint64
+}
+
+// MsgsPerTx is the total network cost of one committed transaction.
+func (r Result) MsgsPerTx() float64 {
+	if r.Committed == 0 {
+		return 0
+	}
+	return float64(r.Messages) / float64(r.Committed)
+}
+
+// ReplMsgsPerTx is the replication-channel cost of one committed transaction
+// — the figure the batching experiment compares across wire protocols.
+func (r Result) ReplMsgsPerTx() float64 {
+	if r.Committed == 0 {
+		return 0
+	}
+	return float64(r.ReplMessages) / float64(r.Committed)
 }
 
 // MeanBlockingTime is the average wait of a blocked BPR read.
@@ -147,11 +170,13 @@ func Run(cfg RunConfig) (Result, error) {
 
 	time.Sleep(cfg.Warmup)
 	close(startGate)
+	msgs0, repl0 := messageCounters(cfg.Cluster)
 	measureStart := time.Now()
 	time.Sleep(cfg.Duration)
 	elapsed := time.Since(measureStart)
 	close(stopFlag)
 	wg.Wait()
+	msgs1, repl1 := messageCounters(cfg.Cluster)
 
 	res := Result{
 		Mode:    cfg.Cluster.Config().Mode,
@@ -168,6 +193,8 @@ func Run(cfg RunConfig) (Result, error) {
 		res.Latency.Merge(o.hist)
 	}
 	res.ThroughputTx = float64(res.Committed) / elapsed.Seconds()
+	res.Messages = msgs1 - msgs0
+	res.ReplMessages = repl1 - repl0
 	blocked1, free1, btotal1 := blockingCounters(cfg.Cluster)
 	res.BlockedReads = blocked1 - blocked0
 	res.UnblockedReads = free1 - free0
@@ -197,6 +224,15 @@ func runTx(ctx context.Context, sess *paris.Session, plan workload.TxPlan) error
 	}
 	_, err = tx.Commit(ctx)
 	return err
+}
+
+// messageCounters snapshots the cluster's total and replication-channel
+// envelope counts.
+func messageCounters(c *paris.Cluster) (msgs, repl uint64) {
+	msgs = c.Net().MessagesSent()
+	byKind := c.Net().MessagesByKind()
+	repl = byKind[wire.KindReplicate] + byKind[wire.KindReplicateBatch] + byKind[wire.KindHeartbeat]
+	return msgs, repl
 }
 
 func blockingCounters(c *paris.Cluster) (blocked, free uint64, total time.Duration) {

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Report is the machine-readable result of one experiment, written as
+// BENCH_<name>.json (see WriteReport and cmd/paris-bench's -json-dir flag)
+// so the performance trajectory of the repository can be tracked across PRs.
+type Report struct {
+	Name string `json:"name"`
+	// Desc is a one-line description of what the experiment measures.
+	Desc string      `json:"desc,omitempty"`
+	Rows []ReportRow `json:"rows"`
+	// Summary holds experiment-level scalars (reduction factors, allocs/op
+	// on micro paths) keyed by metric name.
+	Summary map[string]float64 `json:"summary,omitempty"`
+	// GeneratedAt is the UTC wall-clock time the report was produced.
+	GeneratedAt string `json:"generated_at"`
+}
+
+// ReportRow is one load point / configuration of an experiment.
+type ReportRow struct {
+	Label   string `json:"label"`
+	Threads int    `json:"threads,omitempty"`
+	// Ops is the number of committed transactions measured.
+	Ops      uint64  `json:"ops"`
+	TxPerSec float64 `json:"tx_per_sec"`
+	// Latency percentiles in microseconds.
+	P50Micros float64 `json:"p50_us"`
+	P95Micros float64 `json:"p95_us"`
+	P99Micros float64 `json:"p99_us"`
+	// MsgsPerOp is total envelopes per committed transaction;
+	// ReplMsgsPerOp restricts to the replication channel.
+	MsgsPerOp     float64 `json:"msgs_per_op"`
+	ReplMsgsPerOp float64 `json:"repl_msgs_per_op"`
+}
+
+// RowFromResult converts a harness load point into a report row.
+func RowFromResult(label string, r Result) ReportRow {
+	return ReportRow{
+		Label:         label,
+		Threads:       r.Threads,
+		Ops:           r.Committed,
+		TxPerSec:      r.ThroughputTx,
+		P50Micros:     float64(r.Latency.Percentile(0.50).Microseconds()),
+		P95Micros:     float64(r.Latency.Percentile(0.95).Microseconds()),
+		P99Micros:     float64(r.Latency.Percentile(0.99).Microseconds()),
+		MsgsPerOp:     r.MsgsPerTx(),
+		ReplMsgsPerOp: r.ReplMsgsPerTx(),
+	}
+}
+
+// WriteReport persists the report as <dir>/BENCH_<name>.json and returns the
+// path written.
+func WriteReport(dir string, r *Report) (string, error) {
+	r.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("bench: marshaling report %s: %w", r.Name, err)
+	}
+	data = append(data, '\n')
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("bench: creating report dir: %w", err)
+	}
+	path := filepath.Join(dir, "BENCH_"+r.Name+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", fmt.Errorf("bench: writing report: %w", err)
+	}
+	return path, nil
+}

@@ -66,9 +66,33 @@ func (s *Server) applyTick() {
 	})
 
 	// Apply to the multi-version store before exposing ub: a reader that
-	// sees VV[self] = ub must find every version with ut ≤ ub.
-	for _, c := range ready {
-		s.applyTxLocked(c)
+	// sees VV[self] = ub must find every version with ut ≤ ub. The whole
+	// round goes through the store in one ApplyBatch pass — ready is sorted
+	// by (ct, id), so inserts hit the chain-tail fast path and each shard
+	// lock is taken once.
+	if len(ready) > 0 {
+		n := 0
+		for _, c := range ready {
+			n += len(c.writes)
+		}
+		items := make([]wire.Item, 0, n)
+		for _, c := range ready {
+			for _, kv := range c.writes {
+				items = append(items, wire.Item{
+					Key:   kv.Key,
+					Value: kv.Value,
+					UT:    c.ct,
+					TxID:  c.id,
+					SrcDC: c.srcDC,
+				})
+			}
+		}
+		s.store.ApplyBatch(items)
+		if s.vis != nil {
+			for _, c := range ready {
+				s.vis.recordCommit(c.ct)
+			}
+		}
 	}
 	s.vv[s.self.DC] = ub
 	s.drainVisibilityLocked()
@@ -77,35 +101,111 @@ func (s *Server) applyTick() {
 
 	s.notifyInstalled(s.installedLowerBound())
 
-	// Replicate applied groups (one message per distinct commit timestamp,
-	// as in Alg. 4 line 11's grouping) or heartbeat if idle.
-	if len(ready) > 0 {
-		for start := 0; start < len(ready); {
-			end := start
-			for end < len(ready) && ready[end].ct == ready[start].ct {
-				end++
-			}
-			group := wire.Replicate{SrcDC: s.self.DC, CT: ready[start].ct}
-			group.Txns = make([]wire.TxUpdates, 0, end-start)
-			for _, c := range ready[start:end] {
-				group.Txns = append(group.Txns, wire.TxUpdates{
-					TxID:   c.id,
-					SrcDC:  c.srcDC,
-					Writes: c.writes,
-				})
-			}
-			for _, peer := range peers {
-				_ = s.peer.Cast(peer, group)
-			}
-			start = end
-		}
-		s.metrics.txApplied.Add(uint64(len(ready)))
+	if s.cfg.BatchMaxItems < 0 {
+		s.replicateUnbatched(ready, ub, peers)
 		return
 	}
-	hb := wire.Heartbeat{SrcDC: s.self.DC, TS: ub}
+
+	// Batched pipeline: the round's commit-timestamp groups plus its
+	// heartbeat coalesce into (usually) one ReplicateBatch per destination —
+	// one wire write per peer per ΔR instead of one per commit timestamp.
+	chunks := buildReplicateBatches(s.self.DC, ready, ub, s.cfg.BatchMaxItems, s.cfg.BatchMaxBytes)
 	for _, peer := range peers {
-		_ = s.peer.Cast(peer, hb)
+		_ = s.peer.CastBatch(peer, chunks)
 	}
+	if len(ready) > 0 {
+		s.metrics.txApplied.Add(uint64(len(ready)))
+	}
+}
+
+// replicateUnbatched is the legacy wire path (one Replicate per distinct
+// commit timestamp, a Heartbeat when idle), kept for mixed-version peers and
+// for the bench harness's batched-versus-unbatched comparison.
+func (s *Server) replicateUnbatched(ready []committedTx, ub hlc.Timestamp, peers []topology.NodeID) {
+	if len(ready) == 0 {
+		hb := wire.Heartbeat{SrcDC: s.self.DC, TS: ub}
+		for _, peer := range peers {
+			_ = s.peer.Cast(peer, hb)
+		}
+		return
+	}
+	for start := 0; start < len(ready); {
+		end := start
+		for end < len(ready) && ready[end].ct == ready[start].ct {
+			end++
+		}
+		group := wire.Replicate{SrcDC: s.self.DC, CT: ready[start].ct}
+		group.Txns = make([]wire.TxUpdates, 0, end-start)
+		for _, c := range ready[start:end] {
+			group.Txns = append(group.Txns, wire.TxUpdates{
+				TxID:   c.id,
+				SrcDC:  c.srcDC,
+				Writes: c.writes,
+			})
+		}
+		for _, peer := range peers {
+			_ = s.peer.Cast(peer, group)
+		}
+		start = end
+	}
+	s.metrics.txApplied.Add(uint64(len(ready)))
+}
+
+// buildReplicateBatches coalesces one ΔR round (ready, sorted by commit
+// timestamp) into ReplicateBatch chunks bounded by maxItems write items and
+// ~maxBytes of payload. Chunks split only between commit-timestamp groups so
+// every chunk's UpTo — the last carried CT for interior chunks, ub for the
+// final one — is a bound the receiver may safely advance its version vector
+// to; a single group larger than both caps still travels whole. The final
+// chunk doubles as the round's heartbeat: with nothing to replicate the
+// result is one empty batch carrying only UpTo = ub.
+func buildReplicateBatches(src topology.DCID, ready []committedTx, ub hlc.Timestamp, maxItems, maxBytes int) []wire.Message {
+	if maxItems <= 0 {
+		maxItems = defaultBatchMaxItems
+	}
+	if maxBytes <= 0 {
+		maxBytes = defaultBatchMaxBytes
+	}
+	var (
+		chunks       []wire.Message
+		cur          = wire.ReplicateBatch{SrcDC: src}
+		items, bytes int
+	)
+	for start := 0; start < len(ready); {
+		end := start
+		for end < len(ready) && ready[end].ct == ready[start].ct {
+			end++
+		}
+		group := wire.ReplicateGroup{
+			CT:   ready[start].ct,
+			Txns: make([]wire.TxUpdates, 0, end-start),
+		}
+		gItems, gBytes := 0, 0
+		for _, c := range ready[start:end] {
+			group.Txns = append(group.Txns, wire.TxUpdates{
+				TxID:   c.id,
+				SrcDC:  c.srcDC,
+				Writes: c.writes,
+			})
+			gItems += len(c.writes)
+			for _, kv := range c.writes {
+				// Key/value bytes plus the codec's fixed per-item framing.
+				gBytes += len(kv.Key) + len(kv.Value) + 8
+			}
+		}
+		if len(cur.Groups) > 0 && (items+gItems > maxItems || bytes+gBytes > maxBytes) {
+			cur.UpTo = cur.Groups[len(cur.Groups)-1].CT
+			chunks = append(chunks, cur)
+			cur = wire.ReplicateBatch{SrcDC: src}
+			items, bytes = 0, 0
+		}
+		cur.Groups = append(cur.Groups, group)
+		items += gItems
+		bytes += gBytes
+		start = end
+	}
+	cur.UpTo = ub
+	return append(chunks, cur)
 }
 
 // applyTxLocked writes one committed transaction's updates into the store
@@ -143,6 +243,49 @@ func (s *Server) handleReplicate(m wire.Replicate) {
 
 	s.notifyInstalled(s.installedLowerBound())
 	s.metrics.replGroups.Add(1)
+}
+
+// handleReplicateBatch is the batched receive path: it applies every group
+// of the chunk in a single store pass (one shard-lock acquisition per shard
+// instead of one per item) and then advances the sender's version-vector
+// entry to UpTo — the chunk's heartbeat, covering the groups and any idle
+// tail of the round. Applying before advancing preserves the invariant that
+// a reader who observes the vector entry finds every covered version.
+func (s *Server) handleReplicateBatch(m wire.ReplicateBatch) {
+	if n := m.Items(); n > 0 {
+		items := make([]wire.Item, 0, n)
+		for _, g := range m.Groups {
+			for _, tx := range g.Txns {
+				for _, kv := range tx.Writes {
+					items = append(items, wire.Item{
+						Key:   kv.Key,
+						Value: kv.Value,
+						UT:    g.CT,
+						TxID:  tx.TxID,
+						SrcDC: tx.SrcDC,
+					})
+				}
+			}
+		}
+		s.store.ApplyBatch(items)
+		s.metrics.replItems.Add(uint64(n))
+	}
+	s.mu.Lock()
+	if s.vis != nil {
+		for _, g := range m.Groups {
+			for range g.Txns {
+				s.vis.recordCommit(g.CT)
+			}
+		}
+	}
+	// Couple the replica clocks as the legacy path does (receive rule).
+	s.clock.Observe(m.UpTo)
+	s.advanceVVLocked(m.SrcDC, m.UpTo)
+	s.mu.Unlock()
+
+	s.notifyInstalled(s.installedLowerBound())
+	s.metrics.replBatches.Add(1)
+	s.metrics.replGroups.Add(uint64(len(m.Groups)))
 }
 
 // handleHeartbeat implements Alg. 4 lines 31–33.

@@ -16,6 +16,8 @@ type Metrics struct {
 	slicesServed atomic.Uint64
 	prepares     atomic.Uint64
 	replGroups   atomic.Uint64
+	replBatches  atomic.Uint64
+	replItems    atomic.Uint64
 	gcRemoved    atomic.Uint64
 
 	blockMu    sync.Mutex
@@ -45,6 +47,8 @@ type MetricsSnapshot struct {
 	SlicesServed   uint64        // read-slice requests served (cohort role)
 	Prepares       uint64        // 2PC prepares processed (cohort role)
 	ReplGroups     uint64        // replication groups received
+	ReplBatches    uint64        // ReplicateBatch messages received
+	ReplItems      uint64        // write items received via batches
 	GCRemoved      uint64        // versions removed by garbage collection
 	ReadsBlocked   uint64        // BPR slice reads that had to wait
 	ReadsUnblocked uint64        // BPR slice reads served without waiting
@@ -64,6 +68,8 @@ func (s *Server) Metrics() MetricsSnapshot {
 		SlicesServed:   s.metrics.slicesServed.Load(),
 		Prepares:       s.metrics.prepares.Load(),
 		ReplGroups:     s.metrics.replGroups.Load(),
+		ReplBatches:    s.metrics.replBatches.Load(),
+		ReplItems:      s.metrics.replItems.Load(),
 		GCRemoved:      s.metrics.gcRemoved.Load(),
 		ReadsBlocked:   blocked,
 		ReadsUnblocked: free,

@@ -69,6 +69,16 @@ type Config struct {
 	Clock clock.Source
 	// ApplyInterval is ΔR: the cadence of the apply/replicate loop.
 	ApplyInterval time.Duration
+	// BatchMaxItems caps the write items coalesced into one ReplicateBatch
+	// chunk per destination per ΔR round. 0 selects the default (1024); a
+	// negative value disables batching entirely and falls back to the legacy
+	// per-commit-timestamp Replicate and Heartbeat messages (the bench
+	// harness uses this for before/after comparisons).
+	BatchMaxItems int
+	// BatchMaxBytes caps the approximate encoded payload bytes per chunk.
+	// 0 selects the default (1 MiB). A single group larger than either cap
+	// still travels whole: caps split rounds, never transactions.
+	BatchMaxBytes int
 	// GossipInterval is ΔG: the cadence of intra-DC aggregation and
 	// inter-DC root exchange.
 	GossipInterval time.Duration
@@ -96,6 +106,8 @@ const (
 	defaultGossipInterval = 5 * time.Millisecond
 	defaultUSTInterval    = 5 * time.Millisecond
 	defaultTxContextTTL   = 30 * time.Second
+	defaultBatchMaxItems  = 1024
+	defaultBatchMaxBytes  = 1 << 20
 )
 
 func (c *Config) withDefaults() (Config, error) {
@@ -121,6 +133,12 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.ApplyInterval <= 0 {
 		cfg.ApplyInterval = defaultApplyInterval
+	}
+	if cfg.BatchMaxItems == 0 {
+		cfg.BatchMaxItems = defaultBatchMaxItems
+	}
+	if cfg.BatchMaxBytes == 0 {
+		cfg.BatchMaxBytes = defaultBatchMaxBytes
 	}
 	if cfg.GossipInterval <= 0 {
 		cfg.GossipInterval = defaultGossipInterval
@@ -327,6 +345,8 @@ func (s *Server) HandleCast(from topology.NodeID, msg wire.Message) {
 		s.handleCohortCommit(m)
 	case wire.Replicate:
 		s.handleReplicate(m)
+	case wire.ReplicateBatch:
+		s.handleReplicateBatch(m)
 	case wire.Heartbeat:
 		s.handleHeartbeat(m)
 	case wire.FinishTx:

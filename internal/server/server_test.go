@@ -64,12 +64,12 @@ func (c *castCollector) waitKind(t *testing.T, k wire.Kind, n int) []wire.Messag
 	}
 }
 
-func newTestRig(t *testing.T, mode Mode) *testRig {
+func newTestRig(t *testing.T, mode Mode, opts ...func(*Config)) *testRig {
 	t.Helper()
-	return newTestRigAt(t, mode, topology.ServerID(0, 0))
+	return newTestRigAt(t, mode, topology.ServerID(0, 0), opts...)
 }
 
-func newTestRigAt(t *testing.T, mode Mode, id topology.NodeID) *testRig {
+func newTestRigAt(t *testing.T, mode Mode, id topology.NodeID, opts ...func(*Config)) *testRig {
 	t.Helper()
 	topo, err := topology.New(3, 3, 2)
 	if err != nil {
@@ -84,12 +84,16 @@ func newTestRigAt(t *testing.T, mode Mode, id topology.NodeID) *testRig {
 	}
 	t.Cleanup(func() { _ = rig.net.Close() })
 
-	srv, err := New(Config{
+	cfg := Config{
 		ID:       id,
 		Topology: topo,
 		Mode:     mode,
 		Clock:    rig.clk,
-	})
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	srv, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,12 +220,19 @@ func TestCommitAppliesInTimestampOrderAndReplicates(t *testing.T) {
 	if vv := s.VersionVector()[0]; vv < p2.Proposed {
 		t.Fatalf("VV[self] %v below applied commit %v", vv, p2.Proposed)
 	}
-	// Replication reached the peer replica of partition 0 (DC 1).
+	// Replication reached the peer replica of partition 0 (DC 1) as one
+	// coalesced batch carrying both commit-timestamp groups.
 	peer := rig.peers[topology.ServerID(1, 0)]
-	reps := peer.waitKind(t, wire.KindReplicate, 1)
+	reps := peer.waitKind(t, wire.KindReplicateBatch, 1)
 	total := 0
 	for _, m := range reps {
-		total += len(m.(wire.Replicate).Txns)
+		b := m.(wire.ReplicateBatch)
+		for _, g := range b.Groups {
+			total += len(g.Txns)
+		}
+		if b.UpTo < p2.Proposed {
+			t.Fatalf("batch UpTo %v below applied commit %v", b.UpTo, p2.Proposed)
+		}
 	}
 	if total != 2 {
 		t.Fatalf("replicated %d transactions, want 2", total)
@@ -284,19 +295,51 @@ func TestApplyTickCommitEqualToBoundIsApplied(t *testing.T) {
 }
 
 func TestHeartbeatWhenIdle(t *testing.T) {
+	// An idle ΔR round still announces its upper bound: the heartbeat is an
+	// empty ReplicateBatch carrying only UpTo.
 	rig := newTestRig(t, ModeNonBlocking)
 	rig.srv.applyTick()
 	peer := rig.peers[topology.ServerID(1, 0)]
-	hbs := peer.waitKind(t, wire.KindHeartbeat, 1)
-	hb := hbs[0].(wire.Heartbeat)
+	hbs := peer.waitKind(t, wire.KindReplicateBatch, 1)
+	hb := hbs[0].(wire.ReplicateBatch)
 	if hb.SrcDC != 0 {
 		t.Fatalf("heartbeat src %d", hb.SrcDC)
 	}
-	if hb.TS == 0 {
+	if len(hb.Groups) != 0 {
+		t.Fatalf("idle batch carries %d groups", len(hb.Groups))
+	}
+	if hb.UpTo == 0 {
 		t.Fatal("heartbeat carries zero timestamp")
 	}
-	if got := rig.srv.VersionVector()[0]; got != hb.TS {
-		t.Fatalf("heartbeat ts %v != VV[self] %v", hb.TS, got)
+	if got := rig.srv.VersionVector()[0]; got != hb.UpTo {
+		t.Fatalf("heartbeat ts %v != VV[self] %v", hb.UpTo, got)
+	}
+}
+
+func TestUnbatchedLegacyReplicationPath(t *testing.T) {
+	// BatchMaxItems < 0 restores the seed wire protocol: one Replicate per
+	// commit timestamp, Heartbeat when idle.
+	unbatched := func(c *Config) { c.BatchMaxItems = -1 }
+	rig := newTestRig(t, ModeNonBlocking, unbatched)
+	s := rig.srv
+	peer := rig.peers[topology.ServerID(1, 0)]
+
+	s.applyTick()
+	hbs := peer.waitKind(t, wire.KindHeartbeat, 1)
+	if hb := hbs[0].(wire.Heartbeat); hb.TS == 0 || hb.SrcDC != 0 {
+		t.Fatalf("bad legacy heartbeat %+v", hb)
+	}
+
+	p := s.handlePrepare(wire.PrepareReq{TxID: 1, HT: 0,
+		Writes: []wire.KV{{Key: "k", Value: []byte("v")}}}).(wire.PrepareResp)
+	s.handleCohortCommit(wire.CohortCommit{TxID: 1, CommitTS: p.Proposed})
+	s.applyTick()
+	reps := peer.waitKind(t, wire.KindReplicate, 1)
+	if rep := reps[0].(wire.Replicate); len(rep.Txns) != 1 || rep.CT != p.Proposed {
+		t.Fatalf("bad legacy replicate %+v", rep)
+	}
+	if got := peer.byKind(wire.KindReplicateBatch); len(got) != 0 {
+		t.Fatalf("legacy path emitted %d ReplicateBatch messages", len(got))
 	}
 }
 

@@ -1,0 +1,138 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+func TestApplyBatchMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := make([]wire.Item, 0, 500)
+	for i := 0; i < 500; i++ {
+		items = append(items, wire.Item{
+			Key:   fmt.Sprintf("key-%d", rng.Intn(40)),
+			Value: []byte{byte(i)},
+			UT:    hlc.Timestamp(rng.Intn(100)),
+			TxID:  wire.TxID(i),
+			SrcDC: 1,
+		})
+	}
+	one, batch := New(), New()
+	for _, it := range items {
+		one.Apply(it)
+	}
+	batch.ApplyBatch(items)
+
+	if one.Versions() != batch.Versions() {
+		t.Fatalf("versions differ: Apply %d vs ApplyBatch %d", one.Versions(), batch.Versions())
+	}
+	for snap := hlc.Timestamp(0); snap <= 100; snap += 7 {
+		for k := 0; k < 40; k++ {
+			key := fmt.Sprintf("key-%d", k)
+			a, okA := one.Read(key, snap)
+			b, okB := batch.Read(key, snap)
+			if okA != okB || a.UT != b.UT || a.TxID != b.TxID || string(a.Value) != string(b.Value) {
+				t.Fatalf("Read(%q, %d): Apply=(%v,%v) ApplyBatch=(%v,%v)", key, snap, a, okA, b, okB)
+			}
+		}
+	}
+}
+
+func TestApplyBatchIdempotent(t *testing.T) {
+	s := New()
+	items := []wire.Item{
+		{Key: "a", Value: []byte("1"), UT: 1, TxID: 1, SrcDC: 0},
+		{Key: "a", Value: []byte("2"), UT: 2, TxID: 2, SrcDC: 0},
+		{Key: "b", Value: []byte("3"), UT: 1, TxID: 1, SrcDC: 0},
+	}
+	s.ApplyBatch(items)
+	s.ApplyBatch(items) // duplicate delivery must be a no-op
+	if got := s.Versions(); got != 3 {
+		t.Fatalf("Versions = %d after duplicate batch, want 3", got)
+	}
+}
+
+func TestApplyBatchDegenerateSizes(t *testing.T) {
+	s := New()
+	s.ApplyBatch(nil)
+	if got := s.Versions(); got != 0 {
+		t.Fatalf("Versions = %d after empty batch, want 0", got)
+	}
+	s.ApplyBatch([]wire.Item{{Key: "x", UT: 1, TxID: 1}})
+	if got := s.Versions(); got != 1 {
+		t.Fatalf("Versions = %d after single-item batch, want 1", got)
+	}
+}
+
+// TestNewestAtOrBelowBinarySearch pins the binary search against the obvious
+// linear reference over assorted chain shapes, including duplicate UTs (same
+// commit time, different TxID) where the search must still return the last
+// qualifying index.
+func TestNewestAtOrBelowBinarySearch(t *testing.T) {
+	linear := func(chain []wire.Item, oldest hlc.Timestamp) int {
+		for i := len(chain) - 1; i >= 0; i-- {
+			if chain[i].UT <= oldest {
+				return i
+			}
+		}
+		return -1
+	}
+	chains := [][]wire.Item{
+		nil,
+		{{UT: 5}},
+		{{UT: 1}, {UT: 3}, {UT: 3, TxID: 1}, {UT: 3, TxID: 2}, {UT: 9}},
+	}
+	long := make([]wire.Item, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		long = append(long, wire.Item{UT: hlc.Timestamp(i / 3), TxID: wire.TxID(i)})
+	}
+	chains = append(chains, long)
+	for ci, chain := range chains {
+		for snap := hlc.Timestamp(0); snap < 340; snap++ {
+			want := linear(chain, snap)
+			if got := newestAtOrBelow(chain, snap); got != want {
+				t.Fatalf("chain %d snap %d: got %d, want %d", ci, snap, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkReadLongChain(b *testing.B) {
+	s := New()
+	const versions = 4096
+	for i := 0; i < versions; i++ {
+		s.Apply(wire.Item{Key: "hot", Value: []byte("v"), UT: hlc.Timestamp(i + 1), TxID: wire.TxID(i)})
+	}
+	// Read an old snapshot: the pre-binary-search scan walked ~all versions.
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Read("hot", 3); !ok {
+			b.Fatal("missing version")
+		}
+	}
+}
+
+func BenchmarkApplyBatch(b *testing.B) {
+	items := make([]wire.Item, 256)
+	for i := range items {
+		items[i] = wire.Item{
+			Key:   fmt.Sprintf("key-%d", i%64),
+			Value: []byte("value"),
+			TxID:  wire.TxID(i),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := range items {
+			items[j].UT = hlc.Timestamp(i + 1)
+		}
+		s.ApplyBatch(items)
+	}
+}

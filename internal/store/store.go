@@ -41,7 +41,7 @@ func New() *MVStore {
 	return s
 }
 
-func (s *MVStore) shardFor(key string) *shard {
+func shardIndex(key string) uint64 {
 	// FNV-1a, inlined to avoid allocating a hasher per access.
 	const (
 		offset64 = 14695981039346656037
@@ -52,7 +52,11 @@ func (s *MVStore) shardFor(key string) *shard {
 		h ^= uint64(key[i])
 		h *= prime64
 	}
-	return &s.shards[h&(numShards-1)]
+	return h & (numShards - 1)
+}
+
+func (s *MVStore) shardFor(key string) *shard {
+	return &s.shards[shardIndex(key)]
 }
 
 // Apply inserts a version into its key's chain, keeping the chain sorted by
@@ -62,6 +66,60 @@ func (s *MVStore) Apply(item wire.Item) {
 	sh := s.shardFor(item.Key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.apply(item)
+}
+
+// ApplyBatch inserts every item, acquiring each involved shard's lock exactly
+// once regardless of how many items land on it — the single store pass the
+// batched replication receive path relies on. Items destined for the same
+// shard are applied in slice order, so a batch listing versions in (UT, TxID,
+// SrcDC) order hits the O(1) append fast path throughout.
+func (s *MVStore) ApplyBatch(items []wire.Item) {
+	switch len(items) {
+	case 0:
+		return
+	case 1:
+		s.Apply(items[0])
+		return
+	}
+	// Group item indices by shard with a stable counting sort (one hash per
+	// item, no per-shard rescans), so each shard's write lock is held only
+	// for the items that actually land on it.
+	idx := make([]uint8, len(items))
+	var counts [numShards]int32
+	for i := range items {
+		si := shardIndex(items[i].Key)
+		idx[i] = uint8(si)
+		counts[si]++
+	}
+	var starts [numShards]int32
+	sum := int32(0)
+	for si := range counts {
+		starts[si] = sum
+		sum += counts[si]
+	}
+	order := make([]int32, len(items))
+	next := starts
+	for i := range items {
+		si := idx[i]
+		order[next[si]] = int32(i)
+		next[si]++
+	}
+	for si := range counts {
+		if counts[si] == 0 {
+			continue
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for _, i := range order[starts[si] : starts[si]+counts[si]] {
+			sh.apply(items[i])
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// apply inserts one version; the caller holds sh.mu.
+func (sh *shard) apply(item wire.Item) {
 	chain := sh.chains[item.Key]
 	// Fast path: strictly newer than the tail (the common case).
 	if n := len(chain); n == 0 || chain[n-1].Less(item) {
@@ -96,10 +154,8 @@ func (s *MVStore) Read(key string, snapshot hlc.Timestamp) (wire.Item, bool) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	chain := sh.chains[key]
-	for i := len(chain) - 1; i >= 0; i-- { // newest first
-		if chain[i].UT <= snapshot {
-			return chain[i], true
-		}
+	if i := newestAtOrBelow(chain, snapshot); i >= 0 {
+		return chain[i], true
 	}
 	return wire.Item{}, false
 }
@@ -176,12 +232,21 @@ func (s *MVStore) GC(oldest hlc.Timestamp) int {
 
 // newestAtOrBelow returns the index (in the ascending chain) of the newest
 // version with UT ≤ oldest, or -1 if none. Every version before that index
-// is unreachable by snapshots ≥ oldest.
+// is unreachable by snapshots ≥ oldest. UT is non-decreasing along the chain
+// (it is the major key of the chain's total order), so the answer is found by
+// binary search — chains grow long under GC-off workloads and the linear
+// scan this replaces sat on the hot read path.
 func newestAtOrBelow(chain []wire.Item, oldest hlc.Timestamp) int {
-	for i := len(chain) - 1; i >= 0; i-- {
-		if chain[i].UT <= oldest {
-			return i
+	// Find the first index whose UT exceeds oldest; the one before it (if
+	// any) is the newest visible version.
+	lo, hi := 0, len(chain)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if chain[mid].UT <= oldest {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return -1
+	return lo - 1
 }

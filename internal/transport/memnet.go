@@ -26,9 +26,11 @@ type MemNet struct {
 	closed  bool
 	wg      sync.WaitGroup
 
-	sent     atomic.Uint64
-	byKindMu sync.Mutex
-	byKind   map[wire.Kind]uint64
+	sent        atomic.Uint64
+	batches     atomic.Uint64
+	batchedEnvs atomic.Uint64
+	byKindMu    sync.Mutex
+	byKind      map[wire.Kind]uint64
 }
 
 type (
@@ -122,6 +124,15 @@ func (n *MemNet) IsolateDC(dc topology.DCID, isolated bool, numDCs int) {
 // efficiency tests use these to compare protocol overheads.
 func (n *MemNet) MessagesSent() uint64 { return n.sent.Load() }
 
+// BatchesSent returns the number of SendBatch wire writes accepted, and
+// BatchedEnvelopes the number of envelopes they carried: together they give
+// the mean coalescing factor of the batch-aware transport path. (Envelopes in
+// batches are also counted by MessagesSent and MessagesByKind.)
+func (n *MemNet) BatchesSent() uint64 { return n.batches.Load() }
+
+// BatchedEnvelopes returns the total envelopes delivered via SendBatch.
+func (n *MemNet) BatchedEnvelopes() uint64 { return n.batchedEnvs.Load() }
+
 // MessagesByKind returns a snapshot of per-kind send counts.
 func (n *MemNet) MessagesByKind() map[wire.Kind]uint64 {
 	n.byKindMu.Lock()
@@ -139,24 +150,10 @@ func (n *MemNet) isBlocked(a, b topology.DCID) bool {
 
 // send routes an envelope onto its link, creating the link on first use.
 func (n *MemNet) send(env Envelope) error {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return ErrClosed
+	l, err := n.link(env.From, env.To)
+	if err != nil {
+		return err
 	}
-	if _, ok := n.nodes[env.To]; !ok {
-		n.mu.Unlock()
-		return ErrUnknownNode
-	}
-	key := linkKey{from: env.From, to: env.To}
-	l, ok := n.links[key]
-	if !ok {
-		l = newMemLink(n, key, n.latency.Delay(env.From, env.To))
-		n.links[key] = l
-		n.wg.Add(1)
-		go l.run()
-	}
-	n.mu.Unlock()
 
 	n.sent.Add(1)
 	n.byKindMu.Lock()
@@ -165,6 +162,52 @@ func (n *MemNet) send(env Envelope) error {
 
 	l.push(env)
 	return nil
+}
+
+// sendBatch routes a batch of envelopes (all sharing one destination) onto
+// their link in a single pass: one link lookup, one queue lock, one FIFO
+// position — the in-memory analogue of TCP's one-framed-buffer write.
+func (n *MemNet) sendBatch(envs []Envelope) error {
+	if len(envs) == 0 {
+		return nil
+	}
+	l, err := n.link(envs[0].From, envs[0].To)
+	if err != nil {
+		return err
+	}
+
+	n.sent.Add(uint64(len(envs)))
+	n.batches.Add(1)
+	n.batchedEnvs.Add(uint64(len(envs)))
+	n.byKindMu.Lock()
+	for i := range envs {
+		n.byKind[envs[i].Msg.Kind()]++
+	}
+	n.byKindMu.Unlock()
+
+	l.pushAll(envs)
+	return nil
+}
+
+// link returns the FIFO link from→to, creating it on first use.
+func (n *MemNet) link(from, to topology.NodeID) (*memLink, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.nodes[to]; !ok {
+		return nil, ErrUnknownNode
+	}
+	key := linkKey{from: from, to: to}
+	l, ok := n.links[key]
+	if !ok {
+		l = newMemLink(n, key, n.latency.Delay(from, to))
+		n.links[key] = l
+		n.wg.Add(1)
+		go l.run()
+	}
+	return l, nil
 }
 
 // memEndpoint implements Endpoint.
@@ -182,6 +225,17 @@ func (e *memEndpoint) Send(env Envelope) error {
 	}
 	env.From = e.id
 	return e.net.send(env)
+}
+
+// SendBatch implements BatchEndpoint.
+func (e *memEndpoint) SendBatch(envs []Envelope) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	for i := range envs {
+		envs[i].From = e.id
+	}
+	return e.net.sendBatch(envs)
 }
 
 // Close implements Endpoint. The node stops receiving; envelopes already
@@ -232,6 +286,21 @@ func (l *memLink) push(env Envelope) {
 		at = l.queue[n-1].deliverAt
 	}
 	l.queue = append(l.queue, timedEnvelope{env: env, deliverAt: at})
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+// pushAll enqueues a batch under one lock acquisition; all envelopes share
+// one delivery time, modelling a single wire write.
+func (l *memLink) pushAll(envs []Envelope) {
+	at := time.Now().Add(l.delay)
+	l.mu.Lock()
+	if n := len(l.queue); n > 0 && l.queue[n-1].deliverAt.After(at) {
+		at = l.queue[n-1].deliverAt
+	}
+	for _, env := range envs {
+		l.queue = append(l.queue, timedEnvelope{env: env, deliverAt: at})
+	}
 	l.cond.Signal()
 	l.mu.Unlock()
 }
@@ -288,6 +357,7 @@ func (l *memLink) waitHealed() bool {
 
 // Compile-time interface compliance.
 var (
-	_ Network  = (*MemNet)(nil)
-	_ Endpoint = (*memEndpoint)(nil)
+	_ Network       = (*MemNet)(nil)
+	_ Endpoint      = (*memEndpoint)(nil)
+	_ BatchEndpoint = (*memEndpoint)(nil)
 )

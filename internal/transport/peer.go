@@ -124,6 +124,41 @@ func (p *Peer) Cast(to topology.NodeID, msg wire.Message) error {
 	return ep.Send(Envelope{To: to, Class: ClassCast, Msg: msg})
 }
 
+// CastBatch sends several one-way messages to node "to" in a single wire
+// write when the endpoint supports batching (one framed buffer on TCP, one
+// link pass on MemNet), falling back to sequential Casts otherwise. Messages
+// are delivered in slice order.
+func (p *Peer) CastBatch(to topology.NodeID, msgs []wire.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	if len(msgs) == 1 {
+		return p.Cast(to, msgs[0])
+	}
+	p.mu.Lock()
+	ep, closed := p.ep, p.closed
+	p.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if ep == nil {
+		return fmt.Errorf("transport: peer %v not attached", p.self)
+	}
+	if be, ok := ep.(BatchEndpoint); ok {
+		envs := make([]Envelope, len(msgs))
+		for i, m := range msgs {
+			envs[i] = Envelope{To: to, Class: ClassCast, Msg: m}
+		}
+		return be.SendBatch(envs)
+	}
+	for _, m := range msgs {
+		if err := ep.Send(Envelope{To: to, Class: ClassCast, Msg: m}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Deliver implements Handler, routing responses to pending calls and
 // requests/casts to the application handler.
 func (p *Peer) Deliver(env Envelope) {

@@ -83,19 +83,50 @@ func (n *TCPNode) ListenAddr() string { return n.ln.Addr().String() }
 // Send implements Endpoint.
 func (n *TCPNode) Send(env Envelope) error {
 	env.From = n.self
-	c, err := n.conn(env.To)
+	c, err := n.connOrRoute(env.To)
 	if err != nil {
-		// Fall back to the reverse route: the destination may have dialed
-		// us even though the address book cannot resolve it (clients).
+		return err
+	}
+	return c.enqueue(env)
+}
+
+// SendBatch implements BatchEndpoint: all envelopes (sharing one
+// destination) are framed back-to-back into a single pooled buffer and
+// handed to the connection's writer as one write, so a whole replication
+// round costs one syscall and no per-message allocation.
+func (n *TCPNode) SendBatch(envs []Envelope) error {
+	if len(envs) == 0 {
+		return nil
+	}
+	for i := range envs {
+		envs[i].From = n.self
+	}
+	c, err := n.connOrRoute(envs[0].To)
+	if err != nil {
+		return err
+	}
+	buf := wire.GetBuffer()
+	for i := range envs {
+		*buf = appendFrame(*buf, envs[i])
+	}
+	return c.enqueueBuf(buf)
+}
+
+// connOrRoute resolves the connection for a destination, falling back to the
+// reverse route: the destination may have dialed us even though the address
+// book cannot resolve it (clients).
+func (n *TCPNode) connOrRoute(to topology.NodeID) (*tcpConn, error) {
+	c, err := n.conn(to)
+	if err != nil {
 		n.mu.Lock()
-		rc, ok := n.routes[env.To]
+		rc, ok := n.routes[to]
 		n.mu.Unlock()
 		if !ok {
-			return err
+			return nil, err
 		}
 		c = rc
 	}
-	return c.enqueue(env)
+	return c, nil
 }
 
 // Close implements Endpoint: stops the listener, closes all connections and
@@ -268,15 +299,23 @@ const maxFrameSize = 64 << 20
 //	class uint8 | requestID uint64 | wire-encoded message
 const frameHeaderSize = 4 + 4 + 1 + 1 + 8
 
-func encodeFrame(env Envelope) []byte {
-	buf := make([]byte, 4, 4+frameHeaderSize+64)
+// appendFrame appends one length-prefixed frame to buf. Framing is
+// append-into-caller-buffer all the way down (wire.AppendMessage), so a
+// pooled buffer makes steady-state encoding allocation-free.
+func appendFrame(buf []byte, env Envelope) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length prefix, patched below
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(env.From.DC))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(env.From.Index))
 	buf = append(buf, byte(env.From.Role), byte(env.Class))
 	buf = binary.LittleEndian.AppendUint64(buf, env.RequestID)
 	buf = wire.AppendMessage(buf, env.Msg)
-	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
 	return buf
+}
+
+func encodeFrame(env Envelope) []byte {
+	return appendFrame(make([]byte, 0, 4+frameHeaderSize+64), env)
 }
 
 func decodeFrame(frame []byte) (Envelope, error) {
@@ -301,13 +340,15 @@ func decodeFrame(frame []byte) (Envelope, error) {
 }
 
 // tcpConn is one outbound connection with a single writer goroutine feeding
-// it from an unbounded FIFO queue.
+// it from an unbounded FIFO queue. Queue entries are pooled encode buffers
+// (wire.GetBuffer) holding one or more frames; the writer returns each to
+// the pool after flushing it, so steady-state sending does not allocate.
 type tcpConn struct {
 	raw net.Conn
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  [][]byte
+	queue  []*[]byte
 	closed bool
 }
 
@@ -318,13 +359,21 @@ func newTCPConn(raw net.Conn) *tcpConn {
 }
 
 func (c *tcpConn) enqueue(env Envelope) error {
-	frame := encodeFrame(env)
+	buf := wire.GetBuffer()
+	*buf = appendFrame(*buf, env)
+	return c.enqueueBuf(buf)
+}
+
+// enqueueBuf takes ownership of a pooled buffer holding whole frames; it is
+// recycled after the write (or dropped on a closed connection).
+func (c *tcpConn) enqueueBuf(buf *[]byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
+		wire.PutBuffer(buf)
 		return ErrClosed
 	}
-	c.queue = append(c.queue, frame)
+	c.queue = append(c.queue, buf)
 	c.cond.Signal()
 	return nil
 }
@@ -351,8 +400,13 @@ func (c *tcpConn) writeLoop() {
 		c.queue = nil
 		c.mu.Unlock()
 
-		for _, frame := range batch {
-			if _, err := c.raw.Write(frame); err != nil {
+		for i, buf := range batch {
+			_, err := c.raw.Write(*buf)
+			wire.PutBuffer(buf)
+			if err != nil {
+				for _, rest := range batch[i+1:] {
+					wire.PutBuffer(rest)
+				}
 				c.mu.Lock()
 				c.closed = true
 				c.mu.Unlock()
@@ -364,6 +418,7 @@ func (c *tcpConn) writeLoop() {
 
 // Compile-time interface compliance.
 var (
-	_ Endpoint    = (*TCPNode)(nil)
-	_ AddressBook = StaticBook(nil)
+	_ Endpoint      = (*TCPNode)(nil)
+	_ BatchEndpoint = (*TCPNode)(nil)
+	_ AddressBook   = StaticBook(nil)
 )

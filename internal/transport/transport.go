@@ -79,6 +79,19 @@ type Endpoint interface {
 	Close() error
 }
 
+// BatchEndpoint is implemented by endpoints that can flush several envelopes
+// to one destination in a single wire write. All envelopes of a batch must
+// share the same To; delivery order within the batch follows slice order and
+// the batch as a whole keeps its FIFO position on the link. Callers that
+// coalesce a round of traffic (the replication pipeline) probe for this
+// interface and fall back to envelope-at-a-time Send.
+type BatchEndpoint interface {
+	Endpoint
+	// SendBatch enqueues every envelope for delivery as one write. It is
+	// all-or-nothing: on error none of the envelopes were enqueued.
+	SendBatch(envs []Envelope) error
+}
+
 // Network registers endpoints and routes envelopes between them.
 type Network interface {
 	// Register attaches a node with its inbound handler and returns its

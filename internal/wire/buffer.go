@@ -1,0 +1,40 @@
+package wire
+
+import "sync"
+
+// Encode buffers cycle through a pool so the steady-state hot path — framing
+// a replication batch every ΔR on every link — reuses one grown buffer
+// instead of allocating per message. Buffers are pooled as *[]byte (the
+// slice header would otherwise escape to the heap on every Put).
+
+// minBufferCap sizes fresh pool buffers to cover typical protocol messages
+// without an early grow.
+const minBufferCap = 4 << 10
+
+// maxPooledCap keeps pathological one-off messages (a huge batch) from
+// pinning their buffer in the pool forever.
+const maxPooledCap = 4 << 20
+
+var bufferPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, minBufferCap)
+		return &b
+	},
+}
+
+// GetBuffer returns a zero-length encode buffer with retained capacity.
+// Callers append into it (AppendMessage and friends) and hand it back with
+// PutBuffer once the bytes have been flushed to the wire.
+func GetBuffer() *[]byte {
+	return bufferPool.Get().(*[]byte)
+}
+
+// PutBuffer recycles a buffer obtained from GetBuffer. The caller must not
+// touch the slice afterwards.
+func PutBuffer(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledCap {
+		return
+	}
+	*b = (*b)[:0]
+	bufferPool.Put(b)
+}

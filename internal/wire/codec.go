@@ -68,11 +68,14 @@ func AppendMessage(buf []byte, msg Message) []byte {
 	case Replicate:
 		buf = putU32(buf, uint32(m.SrcDC))
 		buf = putTS(buf, m.CT)
-		buf = putU32(buf, uint32(len(m.Txns)))
-		for _, tx := range m.Txns {
-			buf = putU64(buf, uint64(tx.TxID))
-			buf = putU32(buf, uint32(tx.SrcDC))
-			buf = putKVs(buf, tx.Writes)
+		buf = putTxns(buf, m.Txns)
+	case ReplicateBatch:
+		buf = putU32(buf, uint32(m.SrcDC))
+		buf = putTS(buf, m.UpTo)
+		buf = putU32(buf, uint32(len(m.Groups)))
+		for _, g := range m.Groups {
+			buf = putTS(buf, g.CT)
+			buf = putTxns(buf, g.Txns)
 		}
 	case Heartbeat:
 		buf = putU32(buf, uint32(m.SrcDC))
@@ -134,16 +137,14 @@ func Decode(data []byte) (Message, error) {
 	case KindCohortCommit:
 		msg = CohortCommit{TxID: TxID(r.u64()), CommitTS: r.ts()}
 	case KindReplicate:
-		rep := Replicate{SrcDC: topology.DCID(r.u32()), CT: r.ts()}
+		msg = Replicate{SrcDC: topology.DCID(r.u32()), CT: r.ts(), Txns: r.txns()}
+	case KindReplicateBatch:
+		rep := ReplicateBatch{SrcDC: topology.DCID(r.u32()), UpTo: r.ts()}
 		n := r.sliceLen()
 		if n > 0 {
-			rep.Txns = make([]TxUpdates, 0, n)
+			rep.Groups = make([]ReplicateGroup, 0, n)
 			for i := 0; i < n && r.err == nil; i++ {
-				rep.Txns = append(rep.Txns, TxUpdates{
-					TxID:   TxID(r.u64()),
-					SrcDC:  topology.DCID(r.u32()),
-					Writes: r.kvs(),
-				})
+				rep.Groups = append(rep.Groups, ReplicateGroup{CT: r.ts(), Txns: r.txns()})
 			}
 		}
 		msg = rep
@@ -218,6 +219,16 @@ func putKVs(buf []byte, kvs []KV) []byte {
 	for _, kv := range kvs {
 		buf = putString(buf, kv.Key)
 		buf = putBytes(buf, kv.Value)
+	}
+	return buf
+}
+
+func putTxns(buf []byte, txns []TxUpdates) []byte {
+	buf = putU32(buf, uint32(len(txns)))
+	for _, tx := range txns {
+		buf = putU64(buf, uint64(tx.TxID))
+		buf = putU32(buf, uint32(tx.SrcDC))
+		buf = putKVs(buf, tx.Writes)
 	}
 	return buf
 }
@@ -371,6 +382,22 @@ func (r *reader) kvs() []KV {
 		kvs = append(kvs, KV{Key: r.string(), Value: r.bytes()})
 	}
 	return kvs
+}
+
+func (r *reader) txns() []TxUpdates {
+	n := r.sliceLen()
+	if n == 0 {
+		return nil
+	}
+	txns := make([]TxUpdates, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		txns = append(txns, TxUpdates{
+			TxID:   TxID(r.u64()),
+			SrcDC:  topology.DCID(r.u32()),
+			Writes: r.kvs(),
+		})
+	}
+	return txns
 }
 
 func (r *reader) items() []Item {

@@ -39,6 +39,16 @@ func sampleMessages() []Message {
 			{TxID: 12, SrcDC: 4},
 		}},
 		Replicate{SrcDC: 0, CT: 0},
+		ReplicateBatch{SrcDC: 3, UpTo: hlc.New(60, 0), Groups: []ReplicateGroup{
+			{CT: hlc.New(31, 0), Txns: []TxUpdates{
+				{TxID: 21, SrcDC: 3, Writes: []KV{{Key: "a", Value: []byte("1")}}},
+				{TxID: 22, SrcDC: 3},
+			}},
+			{CT: hlc.New(32, 0), Txns: []TxUpdates{
+				{TxID: 23, SrcDC: 1, Writes: []KV{{Key: "b"}, {Key: "c", Value: []byte{0}}}},
+			}},
+		}},
+		ReplicateBatch{SrcDC: 0, UpTo: hlc.New(70, 0)},
 		Heartbeat{SrcDC: 2, TS: hlc.New(40, 9)},
 		GSTUp{Vec: []hlc.Timestamp{1, hlc.MaxTimestamp, 3}, Oldest: 2},
 		GSTUp{},
@@ -94,6 +104,20 @@ func normalize(m Message) Message {
 		}
 		for i := range v.Txns {
 			v.Txns[i].Writes = normKVs(v.Txns[i].Writes)
+		}
+		return v
+	case ReplicateBatch:
+		if len(v.Groups) == 0 {
+			v.Groups = nil
+		}
+		for gi := range v.Groups {
+			g := &v.Groups[gi]
+			if len(g.Txns) == 0 {
+				g.Txns = nil
+			}
+			for i := range g.Txns {
+				g.Txns[i].Writes = normKVs(g.Txns[i].Writes)
+			}
 		}
 		return v
 	case GSTUp:
@@ -287,8 +311,8 @@ func TestKindStrings(t *testing.T) {
 		KindStartTxReq, KindStartTxResp, KindReadReq, KindReadResp,
 		KindCommitReq, KindCommitResp, KindFinishTx, KindReadSliceReq,
 		KindReadSliceResp, KindPrepareReq, KindPrepareResp, KindCohortCommit,
-		KindReplicate, KindHeartbeat, KindGSTUp, KindGSTRoot, KindUSTDown,
-		KindError,
+		KindReplicate, KindReplicateBatch, KindHeartbeat, KindGSTUp, KindGSTRoot,
+		KindUSTDown, KindError,
 	}
 	seen := make(map[string]bool, len(kinds))
 	for _, k := range kinds {

@@ -104,29 +104,34 @@ const (
 	KindUSTDown
 	// KindError reports a server-side failure to a caller.
 	KindError
+	// KindReplicateBatch coalesces one ΔR round of replication traffic —
+	// every commit-timestamp group plus the round's heartbeat — into a single
+	// message per destination replica.
+	KindReplicateBatch
 )
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
 	names := [...]string{
-		KindStartTxReq:    "StartTxReq",
-		KindStartTxResp:   "StartTxResp",
-		KindReadReq:       "ReadReq",
-		KindReadResp:      "ReadResp",
-		KindCommitReq:     "CommitReq",
-		KindCommitResp:    "CommitResp",
-		KindFinishTx:      "FinishTx",
-		KindReadSliceReq:  "ReadSliceReq",
-		KindReadSliceResp: "ReadSliceResp",
-		KindPrepareReq:    "PrepareReq",
-		KindPrepareResp:   "PrepareResp",
-		KindCohortCommit:  "CohortCommit",
-		KindReplicate:     "Replicate",
-		KindHeartbeat:     "Heartbeat",
-		KindGSTUp:         "GSTUp",
-		KindGSTRoot:       "GSTRoot",
-		KindUSTDown:       "USTDown",
-		KindError:         "Error",
+		KindStartTxReq:     "StartTxReq",
+		KindStartTxResp:    "StartTxResp",
+		KindReadReq:        "ReadReq",
+		KindReadResp:       "ReadResp",
+		KindCommitReq:      "CommitReq",
+		KindCommitResp:     "CommitResp",
+		KindFinishTx:       "FinishTx",
+		KindReadSliceReq:   "ReadSliceReq",
+		KindReadSliceResp:  "ReadSliceResp",
+		KindPrepareReq:     "PrepareReq",
+		KindPrepareResp:    "PrepareResp",
+		KindCohortCommit:   "CohortCommit",
+		KindReplicate:      "Replicate",
+		KindHeartbeat:      "Heartbeat",
+		KindGSTUp:          "GSTUp",
+		KindGSTRoot:        "GSTRoot",
+		KindUSTDown:        "USTDown",
+		KindError:          "Error",
+		KindReplicateBatch: "ReplicateBatch",
 	}
 	if int(k) < len(names) && names[k] != "" {
 		return names[k]
@@ -275,6 +280,45 @@ type Replicate struct {
 // Kind implements Message.
 func (Replicate) Kind() Kind { return KindReplicate }
 
+// ReplicateGroup is one commit-timestamp group inside a ReplicateBatch: the
+// transactions that committed at CT on the sender's replica.
+type ReplicateGroup struct {
+	CT   hlc.Timestamp
+	Txns []TxUpdates
+}
+
+// ReplicateBatch ships one ΔR round's replication traffic to one peer replica
+// in a single message: the commit-timestamp groups of Alg. 4 line 11, ordered
+// by ascending CT, followed by UpTo — the round's upper bound ub, at or above
+// every carried CT. Because the sender applied everything with ct ≤ ub before
+// sending, the receiver may advance its version-vector entry for SrcDC all
+// the way to UpTo; a batch with no groups is exactly a heartbeat (Alg. 4
+// line 21), so idle rounds and busy rounds share one message shape.
+//
+// When a round is split into several chunks (BatchMaxItems/BatchMaxBytes),
+// every chunk but the last carries UpTo equal to its final group's CT, which
+// is safe for the same reason: FIFO links deliver the remainder of the round
+// before any later timestamp.
+type ReplicateBatch struct {
+	SrcDC  topology.DCID
+	Groups []ReplicateGroup
+	UpTo   hlc.Timestamp
+}
+
+// Kind implements Message.
+func (ReplicateBatch) Kind() Kind { return KindReplicateBatch }
+
+// Items returns the total number of write items carried by the batch.
+func (b ReplicateBatch) Items() int {
+	n := 0
+	for _, g := range b.Groups {
+		for _, tx := range g.Txns {
+			n += len(tx.Writes)
+		}
+	}
+	return n
+}
+
 // Heartbeat advances the receiver's version-vector entry for the sender's DC
 // when the sender has had no transactions to replicate.
 type Heartbeat struct {
@@ -358,6 +402,7 @@ var (
 	_ Message = PrepareResp{}
 	_ Message = CohortCommit{}
 	_ Message = Replicate{}
+	_ Message = ReplicateBatch{}
 	_ Message = Heartbeat{}
 	_ Message = GSTUp{}
 	_ Message = GSTRoot{}

@@ -101,6 +101,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Selector:         selector,
 			Clock:            src,
 			ApplyInterval:    full.ApplyInterval,
+			BatchMaxItems:    full.BatchMaxItems,
+			BatchMaxBytes:    full.BatchMaxBytes,
 			GossipInterval:   full.GossipInterval,
 			USTInterval:      full.USTInterval,
 			GCInterval:       full.GCInterval,
