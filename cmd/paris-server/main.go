@@ -48,6 +48,10 @@ func main() {
 			"max write items per replication batch (0 = default 1024, negative disables batching)")
 		batchBytes = flag.Int("batch-max-bytes", 0,
 			"max approximate payload bytes per replication batch (0 = default 1 MiB)")
+		callTimeout = flag.Duration("call-timeout", 0,
+			"coordinator→cohort round-trip bound (0 = default 60s)")
+		preparedTTL = flag.Duration("prepared-ttl", 0,
+			"reap prepared transactions with no commit/abort decision after this long (0 = default 2×call-timeout, negative disables)")
 	)
 	flag.Parse()
 
@@ -80,6 +84,8 @@ func main() {
 		GossipInterval: *gossipInt,
 		USTInterval:    *ustInt,
 		GCInterval:     *gcInt,
+		CallTimeout:    *callTimeout,
+		PreparedTTL:    *preparedTTL,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -63,8 +63,18 @@ type Config struct {
 	USTInterval time.Duration
 	// GCInterval is the version garbage-collection cadence. 0 disables GC.
 	GCInterval time.Duration
-	// TxContextTTL bounds abandoned coordinator contexts. Default 30s.
+	// TxContextTTL bounds abandoned coordinator contexts, measured from the
+	// context's last read/commit activity. Default 30s.
 	TxContextTTL time.Duration
+	// CallTimeout bounds each coordinator→cohort round trip (prepares and
+	// remote slice reads). Default 60s; failure tests shrink it so downed
+	// replicas are detected quickly.
+	CallTimeout time.Duration
+	// PreparedTTL bounds how long a cohort keeps a prepared transaction
+	// without a commit/abort decision before reaping it (a crashed
+	// coordinator's orphans would otherwise freeze the UST system-wide).
+	// 0 selects the default (2×CallTimeout); negative disables the reaper.
+	PreparedTTL time.Duration
 
 	// ClockSkew, when positive, gives each server a fixed clock offset drawn
 	// uniformly from [-ClockSkew, +ClockSkew], emulating imperfect NTP

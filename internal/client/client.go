@@ -303,9 +303,15 @@ func (c *Client) Commit(ctx context.Context) (hlc.Timestamp, error) {
 		return 0, fmt.Errorf("client: unexpected commit response %v", resp.Kind())
 	}
 
-	// hwtc ← ct; tag WSc entries with hwtc and move them to WCc.
+	// hwtc ← ct; tag WSc entries with hwtc and move them to WCc. The cache
+	// is a PaRiS-only mechanism: it papers over the stable snapshot's
+	// staleness until the UST passes the commit. BPR never needs it — the
+	// next snapshot covers the commit and the read blocks until the write is
+	// installed — so populating it in ModeBlocking only accumulates entries
+	// between transactions and lets reads bypass the blocking path the
+	// protocol is defined by.
 	c.hwt = m.CommitTS
-	if !c.cfg.DisableCache {
+	if c.cfg.Mode == ModeNonBlocking && !c.cfg.DisableCache {
 		for k, v := range c.ws {
 			c.cache[k] = wire.Item{
 				Key:   k,

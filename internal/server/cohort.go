@@ -1,6 +1,8 @@
 package server
 
 import (
+	"time"
+
 	"github.com/paris-kv/paris/internal/hlc"
 	"github.com/paris-kv/paris/internal/store"
 	"github.com/paris-kv/paris/internal/wire"
@@ -80,6 +82,13 @@ func (s *Server) handlePrepare(req wire.PrepareReq) wire.Message {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	if _, dead := s.aborted[req.TxID]; dead {
+		// The transaction was already aborted or reaped here; accepting the
+		// prepare would recreate an orphan that no commit can ever resolve.
+		return wire.ErrorResp{Code: wire.CodeTxAborted,
+			Msg: "prepare: transaction " + req.TxID.String() + " already aborted"}
+	}
+
 	// HLC mn ← max(Clock, ht+1, HLC+1).
 	proposed := s.clock.Update(req.HT)
 	// ust mn ← max{ust mn, ust} (PaRiS only; BPR snapshots are not stable).
@@ -97,10 +106,61 @@ func (s *Server) handlePrepare(req wire.PrepareReq) wire.Message {
 		id:     req.TxID,
 		pt:     proposed,
 		srcDC:  s.self.DC,
-		writes: req.Writes,
+		writes: dedupWrites(req.Writes),
+		at:     time.Now(),
 	}
 	s.metrics.prepares.Add(1)
 	return wire.PrepareResp{TxID: req.TxID, Proposed: proposed}
+}
+
+// dedupWrites collapses duplicate keys in a write-set, last writer wins — the
+// apply order of a transaction's own writes must not depend on map iteration
+// or wire ordering quirks. The client dedups through its write-set map, but
+// the server API must not rely on every caller doing so. The common
+// duplicate-free case returns the input slice untouched, detected without
+// allocating: per-partition write-sets are small, so a quadratic probe beats
+// building a map on every prepare of every transaction.
+func dedupWrites(kvs []wire.KV) []wire.KV {
+	const probeLimit = 64 // above this, the map probe's allocation is worth it
+	if len(kvs) <= probeLimit {
+		dup := false
+	probe:
+		for i := 1; i < len(kvs); i++ {
+			for j := 0; j < i; j++ {
+				if kvs[j].Key == kvs[i].Key {
+					dup = true
+					break probe
+				}
+			}
+		}
+		if !dup {
+			return kvs
+		}
+	} else {
+		seen := make(map[string]struct{}, len(kvs))
+		dup := false
+		for _, kv := range kvs {
+			if _, ok := seen[kv.Key]; ok {
+				dup = true
+				break
+			}
+			seen[kv.Key] = struct{}{}
+		}
+		if !dup {
+			return kvs
+		}
+	}
+	out := make([]wire.KV, 0, len(kvs))
+	idx := make(map[string]int, len(kvs))
+	for _, kv := range kvs {
+		if i, ok := idx[kv.Key]; ok {
+			out[i].Value = kv.Value // keep first position, last value
+			continue
+		}
+		idx[kv.Key] = len(out)
+		out = append(out, kv)
+	}
+	return out
 }
 
 // handleCohortCommit implements Alg. 3 lines 15–19: move the transaction from
@@ -112,6 +172,16 @@ func (s *Server) handleCohortCommit(m wire.CohortCommit) {
 	// HLC mn ← max(HLC, ct, Clock).
 	s.clock.Observe(m.CommitTS)
 
+	if _, dead := s.aborted[m.TxID]; dead {
+		// The reaper (or an abort) already released this transaction and the
+		// version-clock upper bound may have advanced past its prepare time;
+		// applying it now would plant a version inside already-served
+		// snapshots. Atomicity is preserved by rejecting: a reapable
+		// transaction is one whose coordinator never finished the commit
+		// phase, so no cohort has applied it either.
+		s.metrics.commitsRejected.Add(1)
+		return
+	}
 	p, ok := s.prepared[m.TxID]
 	if !ok {
 		// Duplicate or post-shutdown commit; FIFO links make this unreachable
@@ -125,4 +195,19 @@ func (s *Server) handleCohortCommit(m wire.CohortCommit) {
 		srcDC:  p.srcDC,
 		writes: p.writes,
 	})
+}
+
+// handleAbortTx releases a prepared transaction whose coordinator gave up on
+// the two-phase commit (a cohort failed to prepare). The id is tombstoned
+// whether or not a prepared entry exists: the abort may overtake a prepare
+// that was retried through another path, and a later CohortCommit or
+// PrepareReq for the id must find the tombstone.
+func (s *Server) handleAbortTx(m wire.AbortTx) {
+	s.mu.Lock()
+	if _, ok := s.prepared[m.TxID]; ok {
+		delete(s.prepared, m.TxID)
+		s.metrics.cohortAborts.Add(1)
+	}
+	s.aborted[m.TxID] = time.Now()
+	s.mu.Unlock()
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -13,12 +14,12 @@ import (
 // This file implements the transaction-coordinator role (Algorithm 2). Any
 // server can coordinate any transaction; clients pick a coordinator in their
 // local DC and send every operation of the session to it.
-
-// coordCallTimeout bounds a coordinator's wait for a cohort. Cohort requests
-// never block in PaRiS mode; in BPR mode reads wait for snapshot
-// installation, which is bounded by replication progress. The generous bound
-// exists so a crashed peer cannot wedge a coordinator forever.
-const coordCallTimeout = 60 * time.Second
+//
+// Beyond the paper's algorithm, the coordinator handles cohort failure:
+// remote reads and prepares fail over to alternate replicas of the partition,
+// and a two-phase commit whose prepare phase cannot complete is explicitly
+// aborted on every cohort it touched (wire.AbortTx), so a failed peer costs
+// one transaction instead of freezing the UST system-wide.
 
 // handleStartTx implements Alg. 2 lines 1–5.
 func (s *Server) handleStartTx(req wire.StartTxReq) wire.Message {
@@ -40,7 +41,8 @@ func (s *Server) handleStartTx(req wire.StartTxReq) wire.Message {
 	}
 	s.txSeq++
 	id := wire.NewTxID(s.self.DC, s.self.Partition(), s.txSeq)
-	s.txCtx[id] = txContext{snapshot: snapshot, started: time.Now()}
+	now := time.Now()
+	s.txCtx[id] = txContext{snapshot: snapshot, started: now, lastActive: now}
 	s.metrics.txStarted.Add(1)
 	return wire.StartTxResp{TxID: id, Snapshot: snapshot}
 }
@@ -54,10 +56,11 @@ func (s *Server) handleFinishTx(m wire.FinishTx) {
 
 // handleRead implements Alg. 2 lines 6–16: group keys by partition, read all
 // partitions in parallel (choosing a local replica when one exists, else the
-// preferred remote replica), merge the slices.
+// preferred remote replica, failing over to alternates), merge the slices.
 func (s *Server) handleRead(req wire.ReadReq) wire.Message {
 	s.mu.Lock()
 	ctx, ok := s.txCtx[req.TxID]
+	s.touchTxLocked(req.TxID)
 	s.mu.Unlock()
 	if !ok {
 		return wire.ErrorResp{Code: wire.CodeUnknownTx, Msg: "read: unknown transaction " + req.TxID.String()}
@@ -90,6 +93,12 @@ func (s *Server) handleRead(req wire.ReadReq) wire.Message {
 		}(p, keys)
 	}
 	wg.Wait()
+	// Refresh the context again: the fan-out may have consumed a sizeable
+	// slice of the TTL waiting on remote replicas, and the session's next
+	// operation must still find its context alive.
+	s.mu.Lock()
+	s.touchTxLocked(req.TxID)
+	s.mu.Unlock()
 	if len(errs) > 0 {
 		return wire.ErrorResp{Code: wire.CodeUnavailable, Msg: "read: " + errs[0].Error()}
 	}
@@ -97,20 +106,57 @@ func (s *Server) handleRead(req wire.ReadReq) wire.Message {
 	return wire.ReadResp{Items: items}
 }
 
-// readSliceAt reads keys of one partition within the snapshot, either locally
-// (same server), in the local DC, or on the preferred remote replica.
+// retryableOnReplica reports whether an operation that failed with err may be
+// retried on another replica of the partition: transport failures (peer down,
+// link fault, timeout) and remote unavailability are retryable, protocol
+// refusals (unknown transaction, aborted) are not.
+func retryableOnReplica(err error) bool {
+	var re *wire.RemoteError
+	if errors.As(err, &re) {
+		return re.Code == wire.CodeUnavailable || re.Code == wire.CodeShuttingDown
+	}
+	return true
+}
+
+// readSliceAt reads keys of one partition within the snapshot, trying each
+// replica of the partition in the selector's preference order. Failing over a
+// read is always safe: in PaRiS mode the snapshot is universally stable, so
+// every replica already holds everything it contains; in BPR mode the
+// alternate replica blocks until it has installed the snapshot, exactly as
+// the preferred one would have.
 func (s *Server) readSliceAt(p topology.PartitionID, keys []string, snapshot hlc.Timestamp) ([]wire.Item, error) {
-	target := topology.ServerID(s.cfg.Selector.TargetDC(s.self.DC, p), p)
 	req := wire.ReadSliceReq{Keys: keys, Snapshot: snapshot}
+	// Fast path: the preferred replica, with no failover bookkeeping — this
+	// runs on every read of every transaction.
+	preferred := topology.ServerID(s.cfg.Selector.TargetDC(s.self.DC, p), p)
+	items, err := s.readSliceFrom(preferred, req)
+	if err == nil || !retryableOnReplica(err) {
+		return items, err
+	}
+	for _, dc := range s.cfg.Selector.Alternates(s.self.DC, p) {
+		s.metrics.readFailovers.Add(1)
+		items, nerr := s.readSliceFrom(topology.ServerID(dc, p), req)
+		if nerr == nil {
+			return items, nil
+		}
+		err = nerr
+		if !retryableOnReplica(nerr) {
+			break
+		}
+	}
+	return nil, err
+}
+
+// readSliceFrom serves the slice from one replica: a local call when the
+// replica is this server, a remote call otherwise.
+func (s *Server) readSliceFrom(target topology.NodeID, req wire.ReadSliceReq) ([]wire.Item, error) {
 	if target == s.self {
-		// The coordinator's own partition serves the slice with a local call.
 		if s.cfg.Mode == ModeBlocking {
-			resp := s.handleReadSliceBlocking(req)
-			return sliceItems(resp)
+			return sliceItems(s.handleReadSliceBlocking(req))
 		}
 		return sliceItems(s.handleReadSlice(req))
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), coordCallTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
 	defer cancel()
 	resp, err := s.peer.Call(ctx, target, req)
 	if err != nil {
@@ -130,13 +176,32 @@ func sliceItems(resp wire.Message) ([]wire.Item, error) {
 	}
 }
 
+// prepareOutcome is the result of one partition's prepare attempt(s).
+type prepareOutcome struct {
+	// acked is the replica whose PrepareResp the coordinator holds; it is
+	// the replica that must receive the CohortCommit or AbortTx decision.
+	acked topology.NodeID
+	// ok reports whether any replica acknowledged the prepare.
+	ok       bool
+	proposed hlc.Timestamp
+	// tried lists every replica a prepare was sent to. A prepare whose call
+	// failed may still have landed (the response, not the request, may have
+	// been lost), so all of them are released on abort — and the non-acked
+	// ones even on success.
+	tried []topology.NodeID
+	err   error
+}
+
 // handleCommit implements Alg. 2 lines 17–29: the two-phase commit. The
 // coordinator collects proposed prepare times from every partition touched by
 // the write-set, picks the maximum as the commit time, and notifies cohorts
-// and client.
+// and client. A prepare that fails on the preferred replica fails over to the
+// partition's alternates; if no replica of some partition acknowledges, the
+// transaction is aborted on every cohort a prepare was sent to.
 func (s *Server) handleCommit(req wire.CommitReq) wire.Message {
 	s.mu.Lock()
 	ctx, ok := s.txCtx[req.TxID]
+	s.touchTxLocked(req.TxID)
 	s.mu.Unlock()
 	if !ok {
 		return wire.ErrorResp{Code: wire.CodeUnknownTx, Msg: "commit: unknown transaction " + req.TxID.String()}
@@ -149,83 +214,199 @@ func (s *Server) handleCommit(req wire.CommitReq) wire.Message {
 	// ht ← max{ust, hwt}: the highest timestamp the client has observed.
 	ht := hlc.Max(ctx.snapshot, req.HWT)
 
+	// Mark the 2PC in flight before any prepare can land anywhere: from this
+	// moment until a decision is recorded, cohort status queries must be
+	// answered "pending" — even if the transaction context is TTL-evicted
+	// while a long failover chain grinds on.
+	s.mu.Lock()
+	s.committing[req.TxID] = struct{}{}
+	s.mu.Unlock()
+
 	byPartition := make(map[topology.PartitionID][]wire.KV)
 	for _, kv := range req.Writes {
 		p := s.cfg.Topology.PartitionOf(kv.Key)
 		byPartition[p] = append(byPartition[p], kv)
 	}
 
-	type target struct {
-		node topology.NodeID
-		kvs  []wire.KV
+	// Prepare phase, in parallel across partitions, with per-partition
+	// replica failover.
+	outcomes := make([]prepareOutcome, 0, len(byPartition))
+	for range byPartition {
+		outcomes = append(outcomes, prepareOutcome{})
 	}
-	targets := make([]target, 0, len(byPartition))
+	var wg sync.WaitGroup
+	i := 0
 	for p, kvs := range byPartition {
-		node := topology.ServerID(s.cfg.Selector.TargetDC(s.self.DC, p), p)
-		targets = append(targets, target{node: node, kvs: kvs})
-	}
-
-	// Prepare phase, in parallel across cohorts.
-	var (
-		mu       sync.Mutex
-		commitTS hlc.Timestamp
-		errs     []error
-		wg       sync.WaitGroup
-	)
-	for _, tgt := range targets {
 		wg.Add(1)
-		go func(tgt target) {
+		go func(out *prepareOutcome, p topology.PartitionID, kvs []wire.KV) {
 			defer wg.Done()
-			prep := wire.PrepareReq{TxID: req.TxID, Snapshot: ctx.snapshot, HT: ht, Writes: tgt.kvs}
-			var (
-				resp wire.Message
-				err  error
-			)
-			if tgt.node == s.self {
-				resp = s.handlePrepare(prep)
-			} else {
-				cctx, cancel := context.WithTimeout(context.Background(), coordCallTimeout)
-				defer cancel()
-				resp, err = s.peer.Call(cctx, tgt.node, prep)
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				errs = append(errs, err)
-				return
-			}
-			switch m := resp.(type) {
-			case wire.PrepareResp:
-				if m.Proposed > commitTS {
-					commitTS = m.Proposed
-				}
-			case wire.ErrorResp:
-				errs = append(errs, m.Err())
-			}
-		}(tgt)
+			s.preparePartition(out, wire.PrepareReq{
+				TxID: req.TxID, Snapshot: ctx.snapshot, HT: ht, Writes: kvs,
+			}, p)
+		}(&outcomes[i], p, kvs)
+		i++
 	}
 	wg.Wait()
-	if len(errs) > 0 {
-		// The paper does not consider aborts; the only prepare failures here
-		// are infrastructure ones (peer down / shutdown). Surface them.
-		return wire.ErrorResp{Code: wire.CodeUnavailable, Msg: "commit: " + errs[0].Error()}
-	}
 
-	// Commit phase: notify cohorts (no ack needed) and answer the client.
-	for _, tgt := range targets {
-		cc := wire.CohortCommit{TxID: req.TxID, CommitTS: commitTS}
-		if tgt.node == s.self {
-			s.handleCohortCommit(cc)
+	var commitTS hlc.Timestamp
+	var firstErr error
+	for _, out := range outcomes {
+		if !out.ok {
+			if firstErr == nil {
+				firstErr = out.err
+			}
 			continue
 		}
-		// Lossless FIFO links: the cast arrives after the cohort's prepare
-		// insert, which happened before its PrepareResp.
-		_ = s.peer.Cast(tgt.node, cc)
+		if out.proposed > commitTS {
+			commitTS = out.proposed
+		}
 	}
 
+	if firstErr != nil {
+		// Abort: release every cohort a prepare was sent to before surfacing
+		// the error. Without this, the cohorts that did prepare would hold
+		// their entries forever, pinning ub = min{prepared.pt} − 1, freezing
+		// the partition's version-vector entry, and with it the UST — the
+		// global minimum — in every data center. The local tombstone also
+		// answers cohort status queries with "aborted" if an abort cast is
+		// itself lost.
+		s.castAbort(req.TxID, outcomes, false)
+		s.handleAbortTx(wire.AbortTx{TxID: req.TxID})
+		s.mu.Lock()
+		delete(s.txCtx, req.TxID)
+		delete(s.committing, req.TxID) // the tombstone above now answers queries
+		s.mu.Unlock()
+		s.metrics.txAborted.Add(1)
+		return wire.ErrorResp{Code: wire.CodeTxAborted, Msg: "commit aborted: " + firstErr.Error()}
+	}
+
+	// Commit phase: notify the acked cohorts (no ack needed) and answer the
+	// client. Replicas that were tried but superseded by a failover get an
+	// abort instead, so a prepare whose response (not request) was lost does
+	// not linger.
+	for _, out := range outcomes {
+		cc := wire.CohortCommit{TxID: req.TxID, CommitTS: commitTS}
+		if out.acked == s.self {
+			s.handleCohortCommit(cc)
+		} else {
+			// Lossless FIFO links: the cast arrives after the cohort's
+			// prepare insert, which happened before its PrepareResp.
+			_ = s.peer.Cast(out.acked, cc)
+		}
+	}
+	s.castAbort(req.TxID, outcomes, true) // release non-acked attempts only
+
+	acked := make([]topology.NodeID, 0, len(outcomes))
+	for _, out := range outcomes {
+		acked = append(acked, out.acked)
+	}
 	s.mu.Lock()
 	delete(s.txCtx, req.TxID)
+	// Remember the decision (bounded; pruned with the tombstones) so a
+	// cohort whose CohortCommit cast was lost recovers the commit through a
+	// status query instead of reaping an acknowledged transaction. The
+	// in-flight marker comes off only now that the decision is queryable.
+	s.decided[req.TxID] = decidedTx{ct: commitTS, at: time.Now(), acked: acked}
+	delete(s.committing, req.TxID)
 	s.mu.Unlock()
 	s.metrics.txCommitted.Add(1)
 	return wire.CommitResp{CommitTS: commitTS}
+}
+
+// handleTxStatus answers a cohort reaper's question about a transaction this
+// server coordinated. The decision memory outlives any in-flight
+// notification by the abort-retention margin, so "unknown" reliably means
+// the transaction can never commit here anymore. A committed decision is
+// confirmed only to the cohorts it was built on: a replica whose prepare was
+// superseded by a failover alternate must discard its entry, or two replicas
+// of one partition would both apply (and re-replicate) the transaction.
+func (s *Server) handleTxStatus(from topology.NodeID, req wire.TxStatusReq) wire.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.decided[req.TxID]; ok {
+		if nodeListed(d.acked, from) {
+			return wire.TxStatusResp{TxID: req.TxID, Status: wire.TxStatusCommitted, CommitTS: d.ct}
+		}
+		return wire.TxStatusResp{TxID: req.TxID, Status: wire.TxStatusAborted}
+	}
+	if _, ok := s.aborted[req.TxID]; ok {
+		return wire.TxStatusResp{TxID: req.TxID, Status: wire.TxStatusAborted}
+	}
+	if s.decidingLocked(req.TxID) {
+		return wire.TxStatusResp{TxID: req.TxID, Status: wire.TxStatusPending}
+	}
+	return wire.TxStatusResp{TxID: req.TxID, Status: wire.TxStatusUnknown}
+}
+
+// preparePartition drives one partition's prepare, failing over through the
+// partition's replicas until one acknowledges or the candidates are
+// exhausted.
+func (s *Server) preparePartition(out *prepareOutcome, prep wire.PrepareReq, p topology.PartitionID) {
+	preferred := topology.ServerID(s.cfg.Selector.TargetDC(s.self.DC, p), p)
+	if done := s.prepareOn(out, prep, preferred); done {
+		return
+	}
+	for _, dc := range s.cfg.Selector.Alternates(s.self.DC, p) {
+		if done := s.prepareOn(out, prep, topology.ServerID(dc, p)); done {
+			if out.ok {
+				s.metrics.prepareFailovers.Add(1)
+			}
+			return
+		}
+	}
+}
+
+// prepareOn sends one prepare attempt to node, recording it in out. It
+// reports true when the fan-out for this partition is settled — success or a
+// non-retryable refusal — and false when the next replica should be tried.
+func (s *Server) prepareOn(out *prepareOutcome, prep wire.PrepareReq, node topology.NodeID) bool {
+	var (
+		resp wire.Message
+		err  error
+	)
+	out.tried = append(out.tried, node)
+	if node == s.self {
+		resp = s.handlePrepare(prep)
+	} else {
+		cctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
+		resp, err = s.peer.Call(cctx, node, prep)
+		cancel()
+	}
+	if err == nil {
+		switch m := resp.(type) {
+		case wire.PrepareResp:
+			out.acked, out.ok, out.proposed = node, true, m.Proposed
+			return true
+		case wire.ErrorResp:
+			err = m.Err()
+		default:
+			err = wire.ErrorResp{Msg: "unexpected prepare response"}.Err()
+		}
+	}
+	out.err = err
+	return !retryableOnReplica(err)
+}
+
+// castAbort sends AbortTx for tx to every replica listed in the outcomes'
+// tried sets; with skipAcked the acked cohorts — the ones committing on the
+// success path — are spared. Aborting a replica that never saw the prepare
+// only plants a tombstone; aborting one whose response was lost releases a
+// pin on its version clock that nothing else would clear until the reaper
+// runs.
+func (s *Server) castAbort(tx wire.TxID, outcomes []prepareOutcome, skipAcked bool) {
+	ab := wire.AbortTx{TxID: tx}
+	seen := make(map[topology.NodeID]bool, len(outcomes))
+	for _, out := range outcomes {
+		for _, node := range out.tried {
+			if seen[node] || (skipAcked && out.ok && node == out.acked) {
+				continue
+			}
+			seen[node] = true
+			if node == s.self {
+				s.handleAbortTx(ab)
+			} else {
+				_ = s.peer.Cast(node, ab)
+			}
+		}
+	}
 }

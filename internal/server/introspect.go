@@ -61,6 +61,14 @@ func (s *Server) PendingCommitted() int {
 	return len(s.committed)
 }
 
+// AbortedCount returns the number of aborted/reaped transaction tombstones
+// currently retained (they age out after the abort retention window).
+func (s *Server) AbortedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.aborted)
+}
+
 // ActiveTxContexts returns the number of live coordinator transaction
 // contexts.
 func (s *Server) ActiveTxContexts() int {

@@ -9,16 +9,23 @@ import (
 // Metrics counts server-side protocol events. All fields are monotonically
 // increasing; Snapshot returns a consistent copy.
 type Metrics struct {
-	txStarted    atomic.Uint64
-	txCommitted  atomic.Uint64
-	txApplied    atomic.Uint64
-	readsServed  atomic.Uint64
-	slicesServed atomic.Uint64
-	prepares     atomic.Uint64
-	replGroups   atomic.Uint64
-	replBatches  atomic.Uint64
-	replItems    atomic.Uint64
-	gcRemoved    atomic.Uint64
+	txStarted        atomic.Uint64
+	txCommitted      atomic.Uint64
+	txApplied        atomic.Uint64
+	readsServed      atomic.Uint64
+	slicesServed     atomic.Uint64
+	prepares         atomic.Uint64
+	replGroups       atomic.Uint64
+	replBatches      atomic.Uint64
+	replItems        atomic.Uint64
+	gcRemoved        atomic.Uint64
+	txAborted        atomic.Uint64
+	txReaped         atomic.Uint64
+	commitsRecovered atomic.Uint64
+	cohortAborts     atomic.Uint64
+	commitsRejected  atomic.Uint64
+	readFailovers    atomic.Uint64
+	prepareFailovers atomic.Uint64
 
 	blockMu    sync.Mutex
 	blockCount uint64
@@ -53,6 +60,14 @@ type MetricsSnapshot struct {
 	ReadsBlocked   uint64        // BPR slice reads that had to wait
 	ReadsUnblocked uint64        // BPR slice reads served without waiting
 	BlockedTotal   time.Duration // cumulative BPR read blocking time
+
+	TxAborted        uint64 // 2PCs aborted by this coordinator (prepare failure)
+	TxReaped         uint64 // prepared transactions reaped after PreparedTTL
+	CommitsRecovered uint64 // lost CohortCommits recovered via status query
+	CohortAborts     uint64 // prepared transactions released by AbortTx (cohort role)
+	CommitsRejected  uint64 // CohortCommits refused for aborted/reaped transactions
+	ReadFailovers    uint64 // slice reads retried on an alternate replica
+	PrepareFailovers uint64 // prepares that succeeded on an alternate replica
 }
 
 // Metrics returns a snapshot of the server's counters.
@@ -74,5 +89,13 @@ func (s *Server) Metrics() MetricsSnapshot {
 		ReadsBlocked:   blocked,
 		ReadsUnblocked: free,
 		BlockedTotal:   total,
+
+		TxAborted:        s.metrics.txAborted.Load(),
+		TxReaped:         s.metrics.txReaped.Load(),
+		CommitsRecovered: s.metrics.commitsRecovered.Load(),
+		CohortAborts:     s.metrics.cohortAborts.Load(),
+		CommitsRejected:  s.metrics.commitsRejected.Load(),
+		ReadFailovers:    s.metrics.readFailovers.Load(),
+		PrepareFailovers: s.metrics.prepareFailovers.Load(),
 	}
 }

@@ -18,6 +18,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -89,8 +90,25 @@ type Config struct {
 	GCInterval time.Duration
 	// TxContextTTL bounds how long an abandoned transaction context survives
 	// on its coordinator (§III-C: contexts of failed clients are cleaned in
-	// the background after a timeout).
+	// the background after a timeout). The TTL is measured from the
+	// context's last read/commit touch, not from transaction start, so long
+	// sessions stay alive as long as they keep issuing operations.
 	TxContextTTL time.Duration
+	// CallTimeout bounds a coordinator's wait for a cohort or remote read
+	// slice. Cohort requests never block in PaRiS mode; in BPR mode reads
+	// wait for snapshot installation, which is bounded by replication
+	// progress. The generous default (60s) exists so a crashed peer cannot
+	// wedge a coordinator forever; fault-injection tests shrink it.
+	CallTimeout time.Duration
+	// PreparedTTL bounds how long a prepared transaction may sit in the
+	// Prepared queue without a commit or abort decision before the reaper
+	// aborts it locally (§III-C: state left by failed coordinators is cleaned
+	// in the background). A prepared entry pins the partition's version-clock
+	// upper bound, so an orphan freezes the UST system-wide; the reaper turns
+	// that into a bounded stall. 0 selects the default (2×CallTimeout, so a
+	// live coordinator's decision always wins the race); negative disables
+	// reaping.
+	PreparedTTL time.Duration
 	// VisibilitySample records every k-th applied version for update
 	// visibility latency measurement (Fig. 4); 0 disables tracking.
 	VisibilitySample int
@@ -106,6 +124,7 @@ const (
 	defaultGossipInterval = 5 * time.Millisecond
 	defaultUSTInterval    = 5 * time.Millisecond
 	defaultTxContextTTL   = 30 * time.Second
+	defaultCallTimeout    = 60 * time.Second
 	defaultBatchMaxItems  = 1024
 	defaultBatchMaxBytes  = 1 << 20
 )
@@ -149,7 +168,24 @@ func (c *Config) withDefaults() (Config, error) {
 	if cfg.TxContextTTL <= 0 {
 		cfg.TxContextTTL = defaultTxContextTTL
 	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = defaultCallTimeout
+	}
+	if cfg.PreparedTTL == 0 {
+		cfg.PreparedTTL = 2 * cfg.CallTimeout
+	}
 	return cfg, nil
+}
+
+// abortedRetention is how long an aborted/reaped transaction id is remembered
+// so a straggling CohortCommit or PrepareReq for it can be rejected. Long
+// enough to outlive any in-flight decision for the transaction by a wide
+// margin, yet bounded so the set cannot grow without limit.
+func (c *Config) abortedRetention() time.Duration {
+	if c.PreparedTTL > 0 {
+		return 4 * c.PreparedTTL
+	}
+	return 4 * c.CallTimeout
 }
 
 // preparedTx is an entry of the pending (Prepared) queue.
@@ -158,6 +194,12 @@ type preparedTx struct {
 	pt     hlc.Timestamp
 	srcDC  topology.DCID
 	writes []wire.KV
+	// at is the local insertion time; the reaper aborts entries whose
+	// coordinator has gone silent for longer than PreparedTTL.
+	at time.Time
+	// resolving marks an in-flight TxStatus query so sweeps do not pile up
+	// duplicate resolution calls for the same entry.
+	resolving bool
 }
 
 // committedTx is an entry of the Committed queue, waiting to be applied.
@@ -168,10 +210,26 @@ type committedTx struct {
 	writes []wire.KV
 }
 
+// decidedTx records a coordinator's commit decision for status queries.
+type decidedTx struct {
+	ct hlc.Timestamp
+	at time.Time
+	// acked lists the cohorts whose PrepareResp the decision was built on —
+	// the only replicas allowed to apply the transaction. A failover cohort
+	// that was superseded (its response was lost and an alternate took over)
+	// must be told "aborted", or both replicas would apply and re-replicate
+	// the same transaction.
+	acked []topology.NodeID
+}
+
 // txContext is the coordinator-side state of a running transaction.
 type txContext struct {
 	snapshot hlc.Timestamp
 	started  time.Time
+	// lastActive is refreshed on every read/commit touch; the cleanup loop
+	// measures the TTL from here, not from started, so a context is only
+	// reaped after the session has actually gone quiet.
+	lastActive time.Time
 }
 
 // Server is one partition replica. Construct with New, wire it to a network
@@ -192,6 +250,23 @@ type Server struct {
 	// sold is the garbage-collection watermark (oldest active snapshot).
 	sold     hlc.Timestamp
 	prepared map[wire.TxID]*preparedTx
+	// aborted remembers transactions whose prepared state this server
+	// released (coordinator abort or TTL reap), keyed to the release time and
+	// pruned after abortedRetention. A CohortCommit for a reaped transaction
+	// MUST be rejected: the version-clock upper bound has already advanced
+	// past its prepare time, so applying it would insert a version inside
+	// snapshots that readers have already taken.
+	aborted map[wire.TxID]time.Time
+	// decided remembers the commit timestamps of transactions this server
+	// coordinated (bounded: pruned after abortedRetention). It answers
+	// TxStatusReq from cohort reapers, so a commit whose CohortCommit cast
+	// was lost in transit is recovered instead of reaped.
+	decided map[wire.TxID]decidedTx
+	// committing marks transactions whose 2PC fan-out is in flight on this
+	// coordinator. It keeps status queries answering "pending" for the whole
+	// prepare phase — the txCtx entry alone is not enough, because a long
+	// failover chain can outlive the context TTL.
+	committing map[wire.TxID]struct{}
 	// committed holds transactions whose commit timestamp is known but whose
 	// writes have not been applied to the store yet.
 	committed []committedTx
@@ -219,14 +294,17 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      full,
-		self:     full.ID,
-		clock:    hlc.NewClock(full.Clock),
-		store:    store.New(),
-		vv:       make(map[topology.DCID]hlc.Timestamp),
-		prepared: make(map[wire.TxID]*preparedTx),
-		txCtx:    make(map[wire.TxID]txContext),
-		stopped:  make(chan struct{}),
+		cfg:        full,
+		self:       full.ID,
+		clock:      hlc.NewClock(full.Clock),
+		store:      store.New(),
+		vv:         make(map[topology.DCID]hlc.Timestamp),
+		prepared:   make(map[wire.TxID]*preparedTx),
+		aborted:    make(map[wire.TxID]time.Time),
+		decided:    make(map[wire.TxID]decidedTx),
+		committing: make(map[wire.TxID]struct{}),
+		txCtx:      make(map[wire.TxID]txContext),
+		stopped:    make(chan struct{}),
 	}
 	for _, dc := range full.Topology.ReplicaDCs(full.ID.Partition()) {
 		s.vv[dc] = 0
@@ -263,6 +341,9 @@ func (s *Server) Start() {
 			s.runLoop(s.cfg.GCInterval, s.gcTick)
 		}
 		s.runLoop(s.cfg.TxContextTTL/2, s.ctxCleanupTick)
+		if s.cfg.PreparedTTL > 0 {
+			s.runLoop(s.cfg.PreparedTTL/4, s.reapTick)
+		}
 	})
 }
 
@@ -329,6 +410,8 @@ func (s *Server) HandleRequest(from topology.NodeID, req wire.Message, reply fun
 		}
 	case wire.PrepareReq:
 		reply(s.handlePrepare(m))
+	case wire.TxStatusReq:
+		reply(s.handleTxStatus(from, m))
 	default:
 		reply(wire.ErrorResp{Code: wire.CodeUnknownTx,
 			Msg: fmt.Sprintf("unexpected request %v", req.Kind())})
@@ -343,6 +426,8 @@ func (s *Server) HandleCast(from topology.NodeID, msg wire.Message) {
 	switch m := msg.(type) {
 	case wire.CohortCommit:
 		s.handleCohortCommit(m)
+	case wire.AbortTx:
+		s.handleAbortTx(m)
 	case wire.Replicate:
 		s.handleReplicate(m)
 	case wire.ReplicateBatch:
@@ -389,16 +474,207 @@ func (s *Server) gcTick() {
 	}
 }
 
-// ctxCleanupTick drops transaction contexts abandoned by failed clients.
+// ctxCleanupTick drops transaction contexts abandoned by failed clients: the
+// TTL is measured from the context's last read/commit activity, so a session
+// that keeps operating is never reaped out from under an open transaction.
+// The tick also prunes the aborted-transaction tombstones once they are old
+// enough that no straggling decision for them can still be in flight.
 func (s *Server) ctxCleanupTick() {
-	cutoff := time.Now().Add(-s.cfg.TxContextTTL)
+	now := time.Now()
+	cutoff := now.Add(-s.cfg.TxContextTTL)
+	abortCutoff := now.Add(-s.cfg.abortedRetention())
 	s.mu.Lock()
 	for id, ctx := range s.txCtx {
-		if ctx.started.Before(cutoff) {
+		if ctx.lastActive.Before(cutoff) {
 			delete(s.txCtx, id)
 		}
 	}
+	for id, at := range s.aborted {
+		if at.Before(abortCutoff) {
+			delete(s.aborted, id)
+		}
+	}
+	for id, d := range s.decided {
+		if d.at.Before(abortCutoff) {
+			delete(s.decided, id)
+		}
+	}
 	s.mu.Unlock()
+}
+
+// touchTxLocked refreshes a transaction context's activity clock. Caller
+// holds s.mu.
+func (s *Server) touchTxLocked(id wire.TxID) {
+	if ctx, ok := s.txCtx[id]; ok {
+		ctx.lastActive = time.Now()
+		s.txCtx[id] = ctx
+	}
+}
+
+// reapTick resolves prepared transactions whose decision has been outstanding
+// for longer than PreparedTTL (§III-C background cleanup). The sweep does not
+// abort unilaterally: a prepared entry may belong to a commit whose
+// CohortCommit cast was lost in transit, or to a coordinator still grinding
+// through sequential prepare failovers, so the cohort first asks the
+// transaction's coordinator (embedded in the TxID) for its fate:
+//
+//   - committed → the transaction moves to the committed queue at its real
+//     commit timestamp — safe because the prepared entry kept the version
+//     clock pinned below its prepare time throughout;
+//   - pending   → the coordinator is still deciding; wait for the next sweep;
+//   - aborted / unknown → reap: release the entry and tombstone the id;
+//   - unreachable → keep waiting, but only up to 2×PreparedTTL — past that
+//     hard deadline the entry is reaped regardless, so a crashed coordinator
+//     stalls the UST for a bounded time, never forever.
+//
+// The hard deadline is a deliberate availability-over-atomicity tradeoff for
+// the one unrecoverable case: state here is volatile, so if the coordinator
+// decided commit, lost the cast to this cohort, and then stayed dead past
+// the deadline, the decision exists nowhere reachable and this partition's
+// slice of the transaction is dropped while other partitions keep theirs.
+// The alternative — waiting forever — is the UST freeze this subsystem
+// exists to fix. Every case with a reachable coordinator (or one that
+// recovers within 2×PreparedTTL) resolves atomically through the query.
+//
+// Safety of the reap itself: the id is tombstoned in s.aborted in the same
+// critical section that releases the entry's pin on the version clock, so a
+// CohortCommit racing the reaper either wins (commit proceeds normally) or
+// finds the tombstone and is rejected — the transaction is never applied
+// after readers may have taken snapshots above its prepare time.
+func (s *Server) reapTick() {
+	now := time.Now()
+	softCutoff := now.Add(-s.cfg.PreparedTTL)
+	hardCutoff := now.Add(-2 * s.cfg.PreparedTTL)
+	var (
+		reaped    int
+		recovered int
+		resolve   []wire.TxID
+	)
+	s.mu.Lock()
+	for id, p := range s.prepared {
+		if p.at.After(softCutoff) {
+			continue
+		}
+		coord := id.Coordinator()
+		if coord == s.self {
+			// The decision, if any, is local: no query needed.
+			if d, ok := s.decided[id]; ok {
+				if nodeListed(d.acked, s.self) {
+					s.promoteLocked(p, d.ct)
+					recovered++
+				} else {
+					// Superseded during failover; the commit lives on
+					// another replica.
+					s.reapLocked(id, now)
+					reaped++
+				}
+			} else if !s.decidingLocked(id) {
+				s.reapLocked(id, now)
+				reaped++
+			}
+			continue
+		}
+		if p.at.Before(hardCutoff) {
+			s.reapLocked(id, now)
+			reaped++
+			continue
+		}
+		if !p.resolving {
+			p.resolving = true
+			resolve = append(resolve, id)
+		}
+	}
+	s.mu.Unlock()
+	if reaped > 0 {
+		s.metrics.txReaped.Add(uint64(reaped))
+	}
+	if recovered > 0 {
+		s.metrics.commitsRecovered.Add(uint64(recovered))
+	}
+	for _, id := range resolve {
+		id := id
+		s.spawn(func() { s.resolveOrphan(id) })
+	}
+}
+
+// reapLocked releases a prepared entry and tombstones its id. Caller holds
+// s.mu.
+func (s *Server) reapLocked(id wire.TxID, now time.Time) {
+	delete(s.prepared, id)
+	s.aborted[id] = now
+}
+
+// decidingLocked reports whether this coordinator is still working toward a
+// decision for id. Caller holds s.mu.
+func (s *Server) decidingLocked(id wire.TxID) bool {
+	if _, ok := s.committing[id]; ok {
+		return true
+	}
+	_, ok := s.txCtx[id]
+	return ok
+}
+
+// nodeListed reports whether node appears in list.
+func nodeListed(list []topology.NodeID, node topology.NodeID) bool {
+	for _, n := range list {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// promoteLocked moves a prepared entry to the committed queue at ct — the
+// recovery path for a commit whose notification was lost. Caller holds s.mu.
+func (s *Server) promoteLocked(p *preparedTx, ct hlc.Timestamp) {
+	delete(s.prepared, p.id)
+	s.clock.Observe(ct)
+	s.committed = append(s.committed, committedTx{
+		id:     p.id,
+		ct:     ct,
+		srcDC:  p.srcDC,
+		writes: p.writes,
+	})
+}
+
+// resolveOrphan asks a remote coordinator for an expired prepared
+// transaction's fate and acts on the answer.
+func (s *Server) resolveOrphan(id wire.TxID) {
+	cctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
+	watch := make(chan struct{})
+	go func() { // release the call promptly if the server stops mid-query
+		select {
+		case <-s.stopped:
+			cancel()
+		case <-watch:
+		}
+	}()
+	resp, err := s.peer.Call(cctx, id.Coordinator(), wire.TxStatusReq{TxID: id})
+	close(watch)
+	cancel()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, present := s.prepared[id]
+	if !present {
+		return // resolved meanwhile (commit, abort, or hard-deadline reap)
+	}
+	p.resolving = false
+	st, ok := resp.(wire.TxStatusResp)
+	if err != nil || !ok {
+		return // coordinator unreachable; the hard deadline bounds the wait
+	}
+	switch st.Status {
+	case wire.TxStatusCommitted:
+		s.promoteLocked(p, st.CommitTS)
+		s.metrics.commitsRecovered.Add(1)
+	case wire.TxStatusPending:
+		// Decision still in flight (e.g. slow prepare failover on another
+		// partition); check again next sweep.
+	default: // aborted or unknown
+		s.reapLocked(id, time.Now())
+		s.metrics.txReaped.Add(1)
+	}
 }
 
 // Compile-time interface compliance.

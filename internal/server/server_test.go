@@ -493,14 +493,27 @@ func TestFinishTxClearsContext(t *testing.T) {
 func TestCtxCleanupEvictsStaleContexts(t *testing.T) {
 	rig := newTestRig(t, ModeNonBlocking)
 	s := rig.srv
-	_ = s.handleStartTx(wire.StartTxReq{})
-	// Force-age the context.
-	s.mu.Lock()
-	for id, ctx := range s.txCtx {
-		ctx.started = time.Now().Add(-time.Hour)
-		s.txCtx[id] = ctx
+	r := s.handleStartTx(wire.StartTxReq{}).(wire.StartTxResp)
+	// Force-age the context's activity clock (the TTL is measured from the
+	// last touch, not from transaction start).
+	age := func() {
+		s.mu.Lock()
+		for id, ctx := range s.txCtx {
+			ctx.started = time.Now().Add(-time.Hour)
+			ctx.lastActive = ctx.started
+			s.txCtx[id] = ctx
+		}
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
+	age()
+	// A read touch revives the context: an old-but-active transaction must
+	// not be reaped mid-flight.
+	_ = s.handleRead(wire.ReadReq{TxID: r.TxID})
+	s.ctxCleanupTick()
+	if s.ActiveTxContexts() != 1 {
+		t.Fatal("active context reaped despite recent touch")
+	}
+	age()
 	s.ctxCleanupTick()
 	if s.ActiveTxContexts() != 0 {
 		t.Fatal("stale context survived cleanup")

@@ -13,8 +13,11 @@ import (
 	"github.com/paris-kv/paris/internal/wire"
 )
 
-// numShards spreads keys over independent locks; it must be a power of two.
+// numShards spreads keys over independent locks; it must be a power of two
+// no larger than 256 (ApplyBatch packs shard indices into uint8).
 const numShards = 64
+
+var _ = [1]struct{}{}[(numShards-1)>>8] // compile-time: numShards ≤ 256
 
 // MVStore is a sharded multi-version store. The zero value is not usable;
 // construct with New. All methods are safe for concurrent use.

@@ -6,6 +6,7 @@ package topology
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 )
 
 type (
@@ -206,6 +207,11 @@ type Selector interface {
 	// TargetDC returns the data center whose replica of p should serve an
 	// operation coordinated from dc.
 	TargetDC(dc DCID, p PartitionID) DCID
+	// Alternates returns the remaining replica DCs of p in failover
+	// preference order, excluding TargetDC(dc, p). A coordinator that cannot
+	// reach the preferred replica retries the operation on each alternate in
+	// turn; the slice is empty when the partition has a single replica.
+	Alternates(dc DCID, p PartitionID) []DCID
 }
 
 // PreferredSelector picks the local replica when the coordinator's DC stores
@@ -234,6 +240,29 @@ func (s *PreferredSelector) TargetDC(dc DCID, p PartitionID) DCID {
 	return replicas[(int32(dc)+s.seed)%int32(len(replicas))]
 }
 
+// Alternates implements Selector: the remaining replicas, continuing the
+// round-robin rotation from the preferred one so failover load spreads the
+// same way primary load does.
+func (s *PreferredSelector) Alternates(dc DCID, p PartitionID) []DCID {
+	replicas := s.topo.ReplicaDCs(p)
+	if len(replicas) <= 1 {
+		return nil
+	}
+	primary := s.TargetDC(dc, p)
+	start := 0
+	for i, r := range replicas {
+		if r == primary {
+			start = i
+			break
+		}
+	}
+	out := make([]DCID, 0, len(replicas)-1)
+	for i := 1; i < len(replicas); i++ {
+		out = append(out, replicas[(start+i)%len(replicas)])
+	}
+	return out
+}
+
 // DistanceSelector picks the local replica when one exists and otherwise the
 // remote replica with the smallest distance from the coordinator's DC — the
 // paper's "geographical proximity" replica choice (§IV-B Read: "Remote DCs
@@ -241,40 +270,45 @@ func (s *PreferredSelector) TargetDC(dc DCID, p PartitionID) DCID {
 // balancing scheme"). Distances are resolved once at construction, so
 // selection is an O(1) table lookup.
 type DistanceSelector struct {
-	topo   *Topology
-	target [][]DCID // [dc][partition] → chosen DC
+	topo *Topology
+	// order[dc][partition] lists the partition's replica DCs by ascending
+	// distance from dc (the local replica first when one exists); entry 0 is
+	// the target, the rest are failover alternates.
+	order [][][]DCID
 }
 
 // NewDistanceSelector builds a DistanceSelector from a pairwise distance
 // function (typically a latency model's RTT).
 func NewDistanceSelector(topo *Topology, distance func(a, b DCID) float64) *DistanceSelector {
-	s := &DistanceSelector{topo: topo, target: make([][]DCID, topo.NumDCs())}
+	s := &DistanceSelector{topo: topo, order: make([][][]DCID, topo.NumDCs())}
 	for dc := 0; dc < topo.NumDCs(); dc++ {
-		row := make([]DCID, topo.NumPartitions())
+		row := make([][]DCID, topo.NumPartitions())
 		for p := 0; p < topo.NumPartitions(); p++ {
 			pid := PartitionID(p)
-			if topo.IsReplicatedAt(pid, DCID(dc)) {
-				row[p] = DCID(dc)
-				continue
-			}
-			best := DCID(-1)
-			bestDist := 0.0
-			for _, replica := range topo.ReplicaDCs(pid) {
-				d := distance(DCID(dc), replica)
-				if best < 0 || d < bestDist {
-					best, bestDist = replica, d
+			replicas := append([]DCID(nil), topo.ReplicaDCs(pid)...)
+			sort.SliceStable(replicas, func(i, j int) bool {
+				// The local replica sorts first; remote replicas by distance.
+				if replicas[i] == DCID(dc) || replicas[j] == DCID(dc) {
+					return replicas[i] == DCID(dc)
 				}
-			}
-			row[p] = best
+				return distance(DCID(dc), replicas[i]) < distance(DCID(dc), replicas[j])
+			})
+			row[p] = replicas
 		}
-		s.target[dc] = row
+		s.order[dc] = row
 	}
 	return s
 }
 
 // TargetDC implements Selector.
 func (s *DistanceSelector) TargetDC(dc DCID, p PartitionID) DCID {
-	return s.target[dc][p]
+	return s.order[dc][p][0]
+}
+
+// Alternates implements Selector: the remaining replicas by ascending
+// distance from the coordinator's DC.
+func (s *DistanceSelector) Alternates(dc DCID, p PartitionID) []DCID {
+	return s.order[dc][p][1:]
 }
 
 // Compile-time interface compliance.

@@ -269,3 +269,69 @@ func TestDistanceSelectorPicksNearest(t *testing.T) {
 		}
 	}
 }
+
+func TestSelectorAlternatesCoverRemainingReplicas(t *testing.T) {
+	topo := mustTopo(t, 5, 45, 3)
+	dist := func(a, b DCID) float64 {
+		d := int(a) - int(b)
+		if d < 0 {
+			d = -d
+		}
+		return float64(d)
+	}
+	for name, sel := range map[string]Selector{
+		"preferred": NewPreferredSelector(topo, 2),
+		"distance":  NewDistanceSelector(topo, dist),
+	} {
+		for p := PartitionID(0); p < 45; p++ {
+			for dc := DCID(0); dc < 5; dc++ {
+				primary := sel.TargetDC(dc, p)
+				alts := sel.Alternates(dc, p)
+				if len(alts) != topo.ReplicationFactor()-1 {
+					t.Fatalf("%s dc=%d p=%d: %d alternates, want %d",
+						name, dc, p, len(alts), topo.ReplicationFactor()-1)
+				}
+				seen := map[DCID]bool{primary: true}
+				for _, a := range alts {
+					if !topo.IsReplicatedAt(p, a) {
+						t.Fatalf("%s dc=%d p=%d: alternate %d is not a replica", name, dc, p, a)
+					}
+					if seen[a] {
+						t.Fatalf("%s dc=%d p=%d: duplicate alternate %d (primary %d)", name, dc, p, a, primary)
+					}
+					seen[a] = true
+				}
+			}
+		}
+	}
+}
+
+func TestDistanceSelectorAlternatesOrderedByDistance(t *testing.T) {
+	topo := mustTopo(t, 5, 45, 3)
+	dist := func(a, b DCID) float64 {
+		d := int(a) - int(b)
+		if d < 0 {
+			d = -d
+		}
+		return float64(d)
+	}
+	sel := NewDistanceSelector(topo, dist)
+	for p := PartitionID(0); p < 45; p++ {
+		for dc := DCID(0); dc < 5; dc++ {
+			alts := sel.Alternates(dc, p)
+			for i := 1; i < len(alts); i++ {
+				if dist(dc, alts[i-1]) > dist(dc, alts[i]) {
+					t.Fatalf("dc=%d p=%d: alternates %v not distance-ordered", dc, p, alts)
+				}
+			}
+		}
+	}
+}
+
+func TestSingleReplicaHasNoAlternates(t *testing.T) {
+	topo := mustTopo(t, 3, 6, 1)
+	sel := NewPreferredSelector(topo, 0)
+	if alts := sel.Alternates(0, 1); len(alts) != 0 {
+		t.Fatalf("RF=1 must have no alternates, got %v", alts)
+	}
+}

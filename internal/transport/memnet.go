@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,12 @@ import (
 // between data centers can be partitioned and healed at runtime; a
 // partitioned link queues traffic and releases it on heal, which is how a
 // long TCP outage behaves from the protocol's point of view.
+//
+// For failure testing, individual directed links (or every link touching a
+// node) can additionally be given an injected fault: FaultBlackhole silently
+// discards traffic — the sender cannot tell, exactly like a one-way packet
+// drop — while FaultError refuses the send, like a connection reset. Unlike
+// SetPartitioned, faulted traffic is lost, not queued.
 type MemNet struct {
 	latency LatencyModel
 
@@ -26,12 +33,32 @@ type MemNet struct {
 	closed  bool
 	wg      sync.WaitGroup
 
+	faultMu    sync.Mutex
+	linkFaults map[linkKey]LinkFault
+	nodeFaults map[topology.NodeID]LinkFault
+
 	sent        atomic.Uint64
 	batches     atomic.Uint64
 	batchedEnvs atomic.Uint64
+	dropped     atomic.Uint64
 	byKindMu    sync.Mutex
 	byKind      map[wire.Kind]uint64
 }
+
+// LinkFault selects an injected failure mode for a link.
+type LinkFault uint8
+
+const (
+	// FaultNone delivers normally.
+	FaultNone LinkFault = iota
+	// FaultBlackhole accepts sends and silently discards them.
+	FaultBlackhole
+	// FaultError refuses sends with ErrLinkDown.
+	FaultError
+)
+
+// ErrLinkDown reports a send refused by an injected FaultError.
+var ErrLinkDown = errors.New("transport: link down (injected fault)")
 
 type (
 	linkKey struct{ from, to topology.NodeID }
@@ -52,11 +79,13 @@ func NewMemNet(latency LatencyModel) *MemNet {
 		latency = ZeroLatency{}
 	}
 	n := &MemNet{
-		latency: latency,
-		nodes:   make(map[topology.NodeID]*memEndpoint),
-		links:   make(map[linkKey]*memLink),
-		blocked: make(map[dcPair]bool),
-		byKind:  make(map[wire.Kind]uint64),
+		latency:    latency,
+		nodes:      make(map[topology.NodeID]*memEndpoint),
+		links:      make(map[linkKey]*memLink),
+		blocked:    make(map[dcPair]bool),
+		linkFaults: make(map[linkKey]LinkFault),
+		nodeFaults: make(map[topology.NodeID]LinkFault),
+		byKind:     make(map[wire.Kind]uint64),
 	}
 	n.healed = sync.NewCond(&n.mu)
 	return n
@@ -119,6 +148,49 @@ func (n *MemNet) IsolateDC(dc topology.DCID, isolated bool, numDCs int) {
 	}
 }
 
+// SetLinkFault injects (or with FaultNone clears) a fault on the directed
+// link from→to. Envelopes already queued on the link are unaffected.
+func (n *MemNet) SetLinkFault(from, to topology.NodeID, f LinkFault) {
+	n.faultMu.Lock()
+	if f == FaultNone {
+		delete(n.linkFaults, linkKey{from: from, to: to})
+	} else {
+		n.linkFaults[linkKey{from: from, to: to}] = f
+	}
+	n.faultMu.Unlock()
+}
+
+// SetNodeFault injects (or with FaultNone clears) a fault on every link to or
+// from node — FaultBlackhole models a crashed or unreachable process without
+// tearing down its state, FaultError a process whose connections are refused.
+func (n *MemNet) SetNodeFault(node topology.NodeID, f LinkFault) {
+	n.faultMu.Lock()
+	if f == FaultNone {
+		delete(n.nodeFaults, node)
+	} else {
+		n.nodeFaults[node] = f
+	}
+	n.faultMu.Unlock()
+}
+
+// faultFor resolves the effective fault for a directed send: an error fault
+// anywhere on the path wins over a blackhole, which wins over none.
+func (n *MemNet) faultFor(from, to topology.NodeID) LinkFault {
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	f := n.linkFaults[linkKey{from: from, to: to}]
+	for _, nf := range []LinkFault{n.nodeFaults[from], n.nodeFaults[to]} {
+		if nf > f {
+			f = nf
+		}
+	}
+	return f
+}
+
+// DroppedMessages returns the number of envelopes discarded by blackhole
+// faults.
+func (n *MemNet) DroppedMessages() uint64 { return n.dropped.Load() }
+
 // MessagesSent returns the total number of envelopes accepted for delivery;
 // MessagesByKind breaks the count down by payload kind. The meta-data
 // efficiency tests use these to compare protocol overheads.
@@ -149,10 +221,20 @@ func (n *MemNet) isBlocked(a, b topology.DCID) bool {
 }
 
 // send routes an envelope onto its link, creating the link on first use.
+// Closed-network and unknown-destination errors take precedence over
+// injected faults: a blackhole models a lossy link, not a broken shutdown
+// path, so callers that stop on ErrClosed still see it.
 func (n *MemNet) send(env Envelope) error {
 	l, err := n.link(env.From, env.To)
 	if err != nil {
 		return err
+	}
+	switch n.faultFor(env.From, env.To) {
+	case FaultError:
+		return ErrLinkDown
+	case FaultBlackhole:
+		n.dropped.Add(1)
+		return nil
 	}
 
 	n.sent.Add(1)
@@ -174,6 +256,13 @@ func (n *MemNet) sendBatch(envs []Envelope) error {
 	l, err := n.link(envs[0].From, envs[0].To)
 	if err != nil {
 		return err
+	}
+	switch n.faultFor(envs[0].From, envs[0].To) {
+	case FaultError:
+		return ErrLinkDown
+	case FaultBlackhole:
+		n.dropped.Add(uint64(len(envs)))
+		return nil
 	}
 
 	n.sent.Add(uint64(len(envs)))

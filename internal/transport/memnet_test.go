@@ -347,3 +347,116 @@ func TestClassString(t *testing.T) {
 		}
 	}
 }
+
+func TestMemNetLinkFaults(t *testing.T) {
+	net := NewMemNet(nil)
+	defer func() { _ = net.Close() }()
+
+	sink := newCollector()
+	epA, err := net.Register(nodeA, newCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Register(nodeB, sink); err != nil {
+		t.Fatal(err)
+	}
+
+	// Blackhole: send succeeds, nothing arrives, drop counter advances.
+	net.SetLinkFault(nodeA, nodeB, FaultBlackhole)
+	if err := epA.Send(Envelope{To: nodeB, Class: ClassCast, Msg: hb(1)}); err != nil {
+		t.Fatalf("blackholed send must be accepted, got %v", err)
+	}
+	if got := net.DroppedMessages(); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+
+	// Error fault: send refused.
+	net.SetLinkFault(nodeA, nodeB, FaultError)
+	if err := epA.Send(Envelope{To: nodeB, Class: ClassCast, Msg: hb(2)}); err != ErrLinkDown {
+		t.Fatalf("faulted send err = %v, want ErrLinkDown", err)
+	}
+
+	// Clearing restores delivery; the blackholed envelope stays lost.
+	net.SetLinkFault(nodeA, nodeB, FaultNone)
+	if err := epA.Send(Envelope{To: nodeB, Class: ClassCast, Msg: hb(3)}); err != nil {
+		t.Fatal(err)
+	}
+	envs := sink.waitFor(t, 1, time.Second)
+	if len(envs) != 1 || envs[0].Msg.(wire.Heartbeat).TS != 3 {
+		t.Fatalf("delivered %v, want only the post-heal heartbeat", envs)
+	}
+}
+
+func TestMemNetNodeFaultIsBidirectional(t *testing.T) {
+	net := NewMemNet(nil)
+	defer func() { _ = net.Close() }()
+
+	sinkB, sinkC := newCollector(), newCollector()
+	epA, err := net.Register(nodeA, newCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := net.Register(nodeB, sinkB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Register(nodeC, sinkC); err != nil {
+		t.Fatal(err)
+	}
+
+	net.SetNodeFault(nodeB, FaultBlackhole)
+	// Traffic toward and from the faulted node is dropped...
+	if err := epA.Send(Envelope{To: nodeB, Class: ClassCast, Msg: hb(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := epB.Send(Envelope{To: nodeC, Class: ClassCast, Msg: hb(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.DroppedMessages(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+	// ...while unrelated links still deliver.
+	if err := epA.Send(Envelope{To: nodeC, Class: ClassCast, Msg: hb(3)}); err != nil {
+		t.Fatal(err)
+	}
+	sinkC.waitFor(t, 1, time.Second)
+	if sinkB.count() != 0 {
+		t.Fatalf("faulted node received %d envelopes", sinkB.count())
+	}
+
+	net.SetNodeFault(nodeB, FaultNone)
+	if err := epA.Send(Envelope{To: nodeB, Class: ClassCast, Msg: hb(4)}); err != nil {
+		t.Fatal(err)
+	}
+	sinkB.waitFor(t, 1, time.Second)
+}
+
+func TestMemNetBatchRespectsFaults(t *testing.T) {
+	net := NewMemNet(nil)
+	defer func() { _ = net.Close() }()
+
+	sink := newCollector()
+	epA, err := net.Register(nodeA, newCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Register(nodeB, sink); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := []Envelope{
+		{To: nodeB, Class: ClassCast, Msg: hb(1)},
+		{To: nodeB, Class: ClassCast, Msg: hb(2)},
+	}
+	net.SetLinkFault(nodeA, nodeB, FaultBlackhole)
+	if err := epA.(BatchEndpoint).SendBatch(batch); err != nil {
+		t.Fatalf("blackholed batch must be accepted, got %v", err)
+	}
+	if got := net.DroppedMessages(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+	net.SetLinkFault(nodeA, nodeB, FaultError)
+	if err := epA.(BatchEndpoint).SendBatch(batch); err != ErrLinkDown {
+		t.Fatalf("faulted batch err = %v, want ErrLinkDown", err)
+	}
+}

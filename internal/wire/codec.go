@@ -65,6 +65,14 @@ func AppendMessage(buf []byte, msg Message) []byte {
 	case CohortCommit:
 		buf = putU64(buf, uint64(m.TxID))
 		buf = putTS(buf, m.CommitTS)
+	case AbortTx:
+		buf = putU64(buf, uint64(m.TxID))
+	case TxStatusReq:
+		buf = putU64(buf, uint64(m.TxID))
+	case TxStatusResp:
+		buf = putU64(buf, uint64(m.TxID))
+		buf = append(buf, byte(m.Status))
+		buf = putTS(buf, m.CommitTS)
 	case Replicate:
 		buf = putU32(buf, uint32(m.SrcDC))
 		buf = putTS(buf, m.CT)
@@ -136,6 +144,12 @@ func Decode(data []byte) (Message, error) {
 		msg = PrepareResp{TxID: TxID(r.u64()), Proposed: r.ts()}
 	case KindCohortCommit:
 		msg = CohortCommit{TxID: TxID(r.u64()), CommitTS: r.ts()}
+	case KindAbortTx:
+		msg = AbortTx{TxID: TxID(r.u64())}
+	case KindTxStatusReq:
+		msg = TxStatusReq{TxID: TxID(r.u64())}
+	case KindTxStatusResp:
+		msg = TxStatusResp{TxID: TxID(r.u64()), Status: TxStatus(r.u8()), CommitTS: r.ts()}
 	case KindReplicate:
 		msg = Replicate{SrcDC: topology.DCID(r.u32()), CT: r.ts(), Txns: r.txns()}
 	case KindReplicateBatch:
@@ -259,6 +273,16 @@ func (r *reader) fail() {
 	if r.err == nil {
 		r.err = ErrTruncated
 	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || len(r.buf) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v
 }
 
 func (r *reader) u16() uint16 {

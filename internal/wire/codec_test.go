@@ -34,6 +34,11 @@ func sampleMessages() []Message {
 		PrepareReq{TxID: 3, Snapshot: 10, HT: 20, Writes: []KV{{Key: "a", Value: []byte("xy")}, {Key: "b"}}},
 		PrepareResp{TxID: 3, Proposed: hlc.New(21, 0)},
 		CohortCommit{TxID: 3, CommitTS: hlc.New(25, 2)},
+		AbortTx{TxID: NewTxID(2, 7, 41)},
+		AbortTx{},
+		TxStatusReq{TxID: NewTxID(1, 3, 17)},
+		TxStatusResp{TxID: NewTxID(1, 3, 17), Status: TxStatusCommitted, CommitTS: hlc.New(90, 1)},
+		TxStatusResp{Status: TxStatusUnknown},
 		Replicate{SrcDC: 4, CT: hlc.New(30, 0), Txns: []TxUpdates{
 			{TxID: 11, SrcDC: 4, Writes: []KV{{Key: "m", Value: []byte("n")}}},
 			{TxID: 12, SrcDC: 4},
@@ -362,5 +367,15 @@ func BenchmarkDecodeReadSliceResp(b *testing.B) {
 		if _, err := Decode(data); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestTxIDCoordinator(t *testing.T) {
+	id := NewTxID(3, 12, 99)
+	if id.DC() != 3 || id.Partition() != 12 {
+		t.Fatalf("TxID fields = dc %d p %d, want 3/12", id.DC(), id.Partition())
+	}
+	if got := id.Coordinator(); got != topology.ServerID(3, 12) {
+		t.Fatalf("Coordinator() = %v, want s3.12", got)
 	}
 }

@@ -30,6 +30,21 @@ func (id TxID) String() string {
 	return fmt.Sprintf("%d/%d/%d", uint64(id)>>56, uint64(id)>>40&0xffff, uint64(id)&(1<<40-1))
 }
 
+// DC returns the data center of the coordinator that assigned the id.
+func (id TxID) DC() topology.DCID { return topology.DCID(uint64(id) >> 56) }
+
+// Partition returns the partition of the coordinator that assigned the id.
+func (id TxID) Partition() topology.PartitionID {
+	return topology.PartitionID(uint64(id) >> 40 & 0xffff)
+}
+
+// Coordinator returns the node that coordinates (or coordinated) the
+// transaction; the id embeds it so any cohort can ask about the
+// transaction's fate without extra routing state.
+func (id TxID) Coordinator() topology.NodeID {
+	return topology.ServerID(id.DC(), id.Partition())
+}
+
 // KV is a key-value pair in a transaction's write-set.
 type KV struct {
 	Key   string
@@ -108,6 +123,15 @@ const (
 	// every commit-timestamp group plus the round's heartbeat — into a single
 	// message per destination replica.
 	KindReplicateBatch
+	// KindAbortTx releases a cohort's prepared state when the coordinator
+	// abandons a two-phase commit whose prepare phase partially failed.
+	KindAbortTx
+	// KindTxStatusReq asks a coordinator for a transaction's fate; the
+	// prepared-transaction reaper sends it before aborting an orphan, so a
+	// commit whose notification was lost is recovered instead of dropped.
+	KindTxStatusReq
+	// KindTxStatusResp answers with the decision (or its absence).
+	KindTxStatusResp
 )
 
 // String implements fmt.Stringer.
@@ -132,6 +156,9 @@ func (k Kind) String() string {
 		KindUSTDown:        "USTDown",
 		KindError:          "Error",
 		KindReplicateBatch: "ReplicateBatch",
+		KindAbortTx:        "AbortTx",
+		KindTxStatusReq:    "TxStatusReq",
+		KindTxStatusResp:   "TxStatusResp",
 	}
 	if int(k) < len(names) && names[k] != "" {
 		return names[k]
@@ -260,6 +287,58 @@ type CohortCommit struct {
 // Kind implements Message.
 func (CohortCommit) Kind() Kind { return KindCohortCommit }
 
+// AbortTx releases a prepared transaction on a cohort. The coordinator casts
+// it to every cohort it sent a prepare to when the prepare phase fails on any
+// of them (peer down, link fault, refusal), so the surviving cohorts' Prepared
+// queues drain and the local version clock — whose upper bound is
+// min{prepared.pt} − 1 — can advance again. Like CohortCommit it needs no
+// reply; a cohort that never saw the prepare treats the abort as a tombstone.
+type AbortTx struct {
+	TxID TxID
+}
+
+// Kind implements Message.
+func (AbortTx) Kind() Kind { return KindAbortTx }
+
+// TxStatus is a coordinator's answer about a transaction's fate.
+type TxStatus uint8
+
+const (
+	// TxStatusPending: the coordinator still holds the transaction's context;
+	// a decision is on the way — do not reap.
+	TxStatusPending TxStatus = iota + 1
+	// TxStatusCommitted: the transaction committed at TxStatusResp.CommitTS.
+	TxStatusCommitted
+	// TxStatusAborted: the transaction was aborted.
+	TxStatusAborted
+	// TxStatusUnknown: the coordinator has no record of the transaction
+	// (never started here, restarted since, or decided longer ago than its
+	// bounded decision memory). Safe to abort: a commit decision is
+	// remembered far longer than any notification can stay in flight.
+	TxStatusUnknown
+)
+
+// TxStatusReq asks the transaction's coordinator for its fate. Sent by the
+// prepared-transaction reaper before aborting an orphan whose commit or
+// abort notification may merely have been lost in transit.
+type TxStatusReq struct {
+	TxID TxID
+}
+
+// Kind implements Message.
+func (TxStatusReq) Kind() Kind { return KindTxStatusReq }
+
+// TxStatusResp carries the decision; CommitTS is set when Status is
+// TxStatusCommitted.
+type TxStatusResp struct {
+	TxID     TxID
+	Status   TxStatus
+	CommitTS hlc.Timestamp
+}
+
+// Kind implements Message.
+func (TxStatusResp) Kind() Kind { return KindTxStatusResp }
+
 // TxUpdates is one transaction's writes for a partition, as shipped by the
 // replication protocol.
 type TxUpdates struct {
@@ -380,11 +459,27 @@ const (
 	CodeUnknownTx
 	// CodeUnavailable: no reachable replica can serve the operation.
 	CodeUnavailable
+	// CodeTxAborted: the transaction was aborted (2PC prepare failure) or its
+	// prepared state was reaped after the coordinator went silent.
+	CodeTxAborted
 )
+
+// RemoteError is the error form of an ErrorResp, carrying the wire code so
+// callers can distinguish retryable infrastructure failures (unavailable,
+// shutting down) from protocol refusals (unknown transaction, aborted).
+type RemoteError struct {
+	Code uint16
+	Msg  string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("wire: remote error %d: %s", e.Code, e.Msg)
+}
 
 // Err converts an ErrorResp into a Go error.
 func (e ErrorResp) Err() error {
-	return fmt.Errorf("wire: remote error %d: %s", e.Code, e.Msg)
+	return &RemoteError{Code: e.Code, Msg: e.Msg}
 }
 
 // Compile-time interface compliance checks.
@@ -401,6 +496,9 @@ var (
 	_ Message = PrepareReq{}
 	_ Message = PrepareResp{}
 	_ Message = CohortCommit{}
+	_ Message = AbortTx{}
+	_ Message = TxStatusReq{}
+	_ Message = TxStatusResp{}
 	_ Message = Replicate{}
 	_ Message = ReplicateBatch{}
 	_ Message = Heartbeat{}

@@ -107,6 +107,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			USTInterval:      full.USTInterval,
 			GCInterval:       full.GCInterval,
 			TxContextTTL:     full.TxContextTTL,
+			CallTimeout:      full.CallTimeout,
+			PreparedTTL:      full.PreparedTTL,
 			VisibilitySample: full.VisibilitySample,
 			ResolverFor:      c.resolvers.storeResolverFor,
 		})
