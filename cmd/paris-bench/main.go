@@ -40,6 +40,7 @@ var experiments = []struct {
 	{"fig3", "throughput and latency vs transaction locality (Fig. 3)", runFig3},
 	{"fig4", "update visibility latency CDF, PaRiS vs BPR (Fig. 4)", runFig4},
 	{"batching", "replication messages/op, batched vs unbatched pipeline", runBatching},
+	{"hotpath", "client-operation hot path: scaling with parallelism (memnet + tcp), allocs/op", runHotpath},
 	{"table1", "taxonomy of causally consistent systems (Table I)", runTable1},
 }
 
@@ -239,6 +240,14 @@ func runBatching(o bench.Options) (*bench.Report, error) {
 		return nil, err
 	}
 	return cmp.Report("batching"), nil
+}
+
+func runHotpath(o bench.Options) (*bench.Report, error) {
+	cmp, err := bench.Hotpath(o)
+	if err != nil {
+		return nil, err
+	}
+	return cmp.Report("hotpath"), nil
 }
 
 func printCDF(cdf []bench.CDFPoint) {

@@ -65,11 +65,15 @@ func (s *Server) applyTick() {
 		return ready[i].id < ready[j].id
 	})
 
+	s.mu.Unlock()
+
 	// Apply to the multi-version store before exposing ub: a reader that
 	// sees VV[self] = ub must find every version with ut ≤ ub. The whole
 	// round goes through the store in one ApplyBatch pass — ready is sorted
 	// by (ct, id), so inserts hit the chain-tail fast path and each shard
-	// lock is taken once.
+	// lock is taken once. Neither the store pass nor the vv publication
+	// needs s.mu: the own-DC entry has exactly one writer (this loop), and
+	// the ordering store-then-publish is what readers rely on.
 	if len(ready) > 0 {
 		n := 0
 		for _, c := range ready {
@@ -94,10 +98,9 @@ func (s *Server) applyTick() {
 			}
 		}
 	}
-	s.vv[s.self.DC] = ub
-	s.drainVisibilityLocked()
+	s.vv[s.self.DC].advance(ub)
+	s.drainVisibility()
 	peers := s.cfg.Topology.PeerReplicas(s.self.Partition(), s.self.DC)
-	s.mu.Unlock()
 
 	s.notifyInstalled(s.installedLowerBound())
 
@@ -208,10 +211,9 @@ func buildReplicateBatches(src topology.DCID, ready []committedTx, ub hlc.Timest
 	return append(chunks, cur)
 }
 
-// applyTxLocked writes one committed transaction's updates into the store
-// (Alg. 4 update()) and samples them for visibility tracking. Caller holds
-// s.mu.
-func (s *Server) applyTxLocked(c committedTx) {
+// applyTx writes one committed transaction's updates into the store
+// (Alg. 4 update()) and samples them for visibility tracking.
+func (s *Server) applyTx(c committedTx) {
 	for _, kv := range c.writes {
 		s.store.Apply(wire.Item{
 			Key:   kv.Key,
@@ -230,16 +232,14 @@ func (s *Server) applyTxLocked(c committedTx) {
 // and advance the version-vector entry of the source replica to the group's
 // commit timestamp.
 func (s *Server) handleReplicate(m wire.Replicate) {
-	s.mu.Lock()
 	for _, tx := range m.Txns {
-		s.applyTxLocked(committedTx{id: tx.TxID, ct: m.CT, srcDC: tx.SrcDC, writes: tx.Writes})
+		s.applyTx(committedTx{id: tx.TxID, ct: m.CT, srcDC: tx.SrcDC, writes: tx.Writes})
 	}
 	// Couple the hybrid clocks of replicas (receive rule); not required for
 	// safety — LWW tolerates clock divergence — but keeps snapshot freshness
 	// uniform across DCs.
 	s.clock.Observe(m.CT)
-	s.advanceVVLocked(m.SrcDC, m.CT)
-	s.mu.Unlock()
+	s.advanceVV(m.SrcDC, m.CT)
 
 	s.notifyInstalled(s.installedLowerBound())
 	s.metrics.replGroups.Add(1)
@@ -270,7 +270,6 @@ func (s *Server) handleReplicateBatch(m wire.ReplicateBatch) {
 		s.store.ApplyBatch(items)
 		s.metrics.replItems.Add(uint64(n))
 	}
-	s.mu.Lock()
 	if s.vis != nil {
 		for _, g := range m.Groups {
 			for range g.Txns {
@@ -280,8 +279,7 @@ func (s *Server) handleReplicateBatch(m wire.ReplicateBatch) {
 	}
 	// Couple the replica clocks as the legacy path does (receive rule).
 	s.clock.Observe(m.UpTo)
-	s.advanceVVLocked(m.SrcDC, m.UpTo)
-	s.mu.Unlock()
+	s.advanceVV(m.SrcDC, m.UpTo)
 
 	s.notifyInstalled(s.installedLowerBound())
 	s.metrics.replBatches.Add(1)
@@ -290,35 +288,34 @@ func (s *Server) handleReplicateBatch(m wire.ReplicateBatch) {
 
 // handleHeartbeat implements Alg. 4 lines 31–33.
 func (s *Server) handleHeartbeat(m wire.Heartbeat) {
-	s.mu.Lock()
-	s.advanceVVLocked(m.SrcDC, m.TS)
-	s.mu.Unlock()
+	s.advanceVV(m.SrcDC, m.TS)
 	s.notifyInstalled(s.installedLowerBound())
 }
 
-// advanceVVLocked moves a version-vector entry forward; entries never
-// regress (FIFO links deliver timestamps in order, but a heartbeat racing a
-// replicate group must not rewind the entry).
-func (s *Server) advanceVVLocked(dc topology.DCID, ts hlc.Timestamp) {
-	if cur, ok := s.vv[dc]; ok && ts > cur {
-		s.vv[dc] = ts
-		s.drainVisibilityLocked()
+// advanceVV moves a version-vector entry forward; entries never regress
+// (FIFO links deliver timestamps in order, but a heartbeat racing a
+// replicate group must not rewind the entry). Entries for DCs that do not
+// replicate this partition are ignored.
+func (s *Server) advanceVV(dc topology.DCID, ts hlc.Timestamp) {
+	if int(dc) >= len(s.vv) || !s.vvLive[dc] {
+		return
+	}
+	if s.vv[dc].advance(ts) {
+		s.drainVisibility()
 	}
 }
 
 // installedLowerBound is the timestamp below which every transaction — local
 // or remote — has been applied on this partition: the minimum over the
-// version vector. BPR reads at snapshot t wait until this bound reaches t.
+// version vector, computed from atomic loads without a lock. BPR reads at
+// snapshot t wait until this bound reaches t.
 func (s *Server) installedLowerBound() hlc.Timestamp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.installedLowerBoundLocked()
-}
-
-func (s *Server) installedLowerBoundLocked() hlc.Timestamp {
 	low := hlc.MaxTimestamp
-	for _, ts := range s.vv {
-		if ts < low {
+	for dc := range s.vv {
+		if !s.vvLive[dc] {
+			continue
+		}
+		if ts := s.vv[dc].Load(); ts < low {
 			low = ts
 		}
 	}
@@ -335,14 +332,20 @@ type installWaiter struct {
 // server stops; it returns how long it waited (the paper's §V-B "blocking
 // time" metric; zero when the read proceeded immediately).
 func (s *Server) waitInstalled(ts hlc.Timestamp) time.Duration {
-	s.mu.Lock()
-	if s.installedLowerBoundLocked() >= ts {
-		s.mu.Unlock()
+	if s.installedLowerBound() >= ts {
 		return 0
 	}
 	w := installWaiter{ts: ts, ready: make(chan struct{})}
+	s.mu.Lock()
 	s.waiters = append(s.waiters, w)
 	s.mu.Unlock()
+	// Re-check after publishing the waiter: the bound advances lock-free, so
+	// it may have passed ts between the first check and the registration — a
+	// notifyInstalled in that window would not have seen us. Self-notifying
+	// here closes the race (it wakes every waiter the bound now covers).
+	if s.installedLowerBound() >= ts {
+		s.notifyInstalled(s.installedLowerBound())
+	}
 
 	start := time.Now()
 	select {

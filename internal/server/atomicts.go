@@ -1,0 +1,34 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"github.com/paris-kv/paris/internal/hlc"
+)
+
+// atomicTS publishes an hlc.Timestamp through atomics with monotonic updates,
+// so hot-path readers (StartTx snapshot assignment, piggybacked UST
+// observation, version-vector minima) never take a lock.
+type atomicTS struct {
+	v atomic.Uint64
+}
+
+// Load returns the current value.
+func (a *atomicTS) Load() hlc.Timestamp {
+	return hlc.Timestamp(a.v.Load())
+}
+
+// advance raises the value to ts if ts is higher; it reports whether the
+// value moved. Values never regress: a CAS loss means another writer
+// published an equal-or-higher timestamp, which satisfies this writer too.
+func (a *atomicTS) advance(ts hlc.Timestamp) bool {
+	for {
+		cur := a.v.Load()
+		if uint64(ts) <= cur {
+			return false
+		}
+		if a.v.CompareAndSwap(cur, uint64(ts)) {
+			return true
+		}
+	}
+}

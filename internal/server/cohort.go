@@ -16,26 +16,34 @@ import (
 // each key within the snapshot. In PaRiS mode this never blocks: the snapshot
 // is universally stable, so everything it contains has already been applied.
 func (s *Server) handleReadSlice(req wire.ReadSliceReq) wire.Message {
-	// ust mn ← max{ust mn, ust}: piggybacked stabilization (Alg. 3 line 2).
-	s.observeUST(req.Snapshot)
+	return wire.ReadSliceResp{Items: s.readLocal(req.Keys, req.Snapshot)}
+}
 
-	items := make([]wire.Item, 0, len(req.Keys))
-	for _, k := range req.Keys {
+// readLocal is the slice read itself, shared by the wire handler and the
+// coordinator's local fast path (which skips the request/response wrapping
+// when the target replica is this very server). Items come back in key
+// order; absent keys are skipped.
+func (s *Server) readLocal(keys []string, snapshot hlc.Timestamp) []wire.Item {
+	// ust mn ← max{ust mn, ust}: piggybacked stabilization (Alg. 3 line 2).
+	s.observeUST(snapshot)
+
+	items := make([]wire.Item, 0, len(keys))
+	for _, k := range keys {
 		var (
 			item wire.Item
 			ok   bool
 		)
 		if r := s.resolverFor(k); r != nil {
-			item, ok = s.store.ReadResolved(k, req.Snapshot, r)
+			item, ok = s.store.ReadResolved(k, snapshot, r)
 		} else {
-			item, ok = s.store.Read(k, req.Snapshot)
+			item, ok = s.store.Read(k, snapshot)
 		}
 		if ok {
 			items = append(items, item)
 		}
 	}
 	s.metrics.slicesServed.Add(1)
-	return wire.ReadSliceResp{Items: items}
+	return items
 }
 
 // handleReadSliceBlocking is the BPR read path: wait until this partition has
@@ -60,19 +68,17 @@ func (s *Server) resolverFor(key string) store.Resolver {
 }
 
 // observeUST folds a piggybacked stable-time value into the server's UST
-// (Alg. 3 lines 2 and 11). In BPR mode snapshots come from coordinator
-// clocks, not from the UST, so they are not evidence of universal stability
-// and must not advance it.
+// (Alg. 3 lines 2 and 11) — a lock-free monotonic advance; it runs on every
+// slice read of every transaction. In BPR mode snapshots come from
+// coordinator clocks, not from the UST, so they are not evidence of
+// universal stability and must not advance it.
 func (s *Server) observeUST(ts hlc.Timestamp) {
 	if ts == 0 || s.cfg.Mode != ModeNonBlocking {
 		return
 	}
-	s.mu.Lock()
-	if ts > s.ust {
-		s.ust = ts
-		s.drainVisibilityLocked()
+	if s.ust.advance(ts) {
+		s.drainVisibility()
 	}
-	s.mu.Unlock()
 }
 
 // handlePrepare implements Alg. 3 lines 9–14: advance the hybrid clock past
@@ -92,14 +98,11 @@ func (s *Server) handlePrepare(req wire.PrepareReq) wire.Message {
 	// HLC mn ← max(Clock, ht+1, HLC+1).
 	proposed := s.clock.Update(req.HT)
 	// ust mn ← max{ust mn, ust} (PaRiS only; BPR snapshots are not stable).
-	if s.cfg.Mode == ModeNonBlocking && req.Snapshot > s.ust {
-		s.ust = req.Snapshot
-		s.drainVisibilityLocked()
-	}
+	s.observeUST(req.Snapshot)
 	// pt ← max{HLC, ust}. The proposed time must exceed every snapshot the
 	// transaction could have read from.
-	if s.ust > proposed {
-		proposed = s.ust
+	if ust := s.ust.Load(); ust > proposed {
+		proposed = ust
 		s.clock.Observe(proposed)
 	}
 	s.prepared[req.TxID] = &preparedTx{

@@ -21,89 +21,262 @@ import (
 // aborted on every cohort it touched (wire.AbortTx), so a failed peer costs
 // one transaction instead of freezing the UST system-wide.
 
-// handleStartTx implements Alg. 2 lines 1–5.
+// handleStartTx implements Alg. 2 lines 1–5. It is lock-free apart from one
+// context-table shard visit: the snapshot comes from an atomic UST load, the
+// transaction id from an atomic sequence.
 func (s *Server) handleStartTx(req wire.StartTxReq) wire.Message {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// ust mn ← max{ust mn, ustc}: the client may have observed a fresher
-	// stable snapshot on another coordinator. (In BPR the client value is
-	// clock-derived and not evidence of universal stability.)
-	if s.cfg.Mode == ModeNonBlocking && req.ClientUST > s.ust {
-		s.ust = req.ClientUST
-	}
 	var snapshot hlc.Timestamp
 	if s.cfg.Mode == ModeBlocking {
 		// BPR: snapshot is the max of the client's highest snapshot and the
 		// coordinator's clock — fresher than the UST, but reads will block.
 		snapshot = hlc.Max(req.ClientUST, s.clock.Now())
 	} else {
-		snapshot = s.ust
+		// ust mn ← max{ust mn, ustc}: the client may have observed a fresher
+		// stable snapshot on another coordinator. (In BPR the client value is
+		// clock-derived and not evidence of universal stability.) Folding
+		// before loading keeps the session monotonic: the snapshot handed
+		// back is at least the client's own stable time.
+		s.observeUST(req.ClientUST)
+		snapshot = s.ust.Load()
 	}
-	s.txSeq++
-	id := wire.NewTxID(s.self.DC, s.self.Partition(), s.txSeq)
+	id := wire.NewTxID(s.self.DC, s.self.Partition(), s.txSeq.Add(1))
 	now := time.Now()
-	s.txCtx[id] = txContext{snapshot: snapshot, started: now, lastActive: now}
+	s.txCtx.put(id, txContext{snapshot: snapshot, started: now, lastActive: now})
+	if s.cfg.Mode == ModeNonBlocking {
+		// GC-watermark hazard: between the UST load above and the put, this
+		// context was invisible to the stabilization aggregate, so a gossip
+		// scan in that window reported an oldest-active snapshot above our
+		// choice, and the watermark (Sold) it feeds could eventually overtake
+		// the snapshot — letting GC trim versions this transaction needs. One
+		// reload after the put closes the hazard for every in-flight round:
+		// any Sold this server ever applies is bounded by its own UST at the
+		// Sold's contributing scan, and such a scan either ran before this
+		// reload (its UST ≤ the value read here) or after the put (it saw
+		// the context, so its contribution ≤ our snapshot). Raising the
+		// snapshot to the reloaded UST therefore dominates both cases. The
+		// pre-shard code made the choice and the insert atomic under one
+		// server-wide mutex; this reload buys the same safety without it.
+		if ust := s.ust.Load(); ust > snapshot {
+			snapshot = ust
+			s.txCtx.put(id, txContext{snapshot: snapshot, started: now, lastActive: now})
+		}
+	}
 	s.metrics.txStarted.Add(1)
 	return wire.StartTxResp{TxID: id, Snapshot: snapshot}
 }
 
 // handleFinishTx discards the context of a read-only transaction.
 func (s *Server) handleFinishTx(m wire.FinishTx) {
-	s.mu.Lock()
-	delete(s.txCtx, m.TxID)
-	s.mu.Unlock()
+	s.txCtx.delete(m.TxID)
 }
 
 // handleRead implements Alg. 2 lines 6–16: group keys by partition, read all
 // partitions in parallel (choosing a local replica when one exists, else the
-// preferred remote replica, failing over to alternates), merge the slices.
+// preferred remote replica, failing over to alternates), merge the slices in
+// request-key order.
+//
+// The common case under a sharded keyspace — every key on one partition —
+// takes a fast path that skips the grouping, the goroutine fan-out, and the
+// merge entirely: one context-shard touch, one slice read, done. The
+// multi-partition path draws its grouping scratch state from a pool and runs
+// the first partition on the calling goroutine, so a P-partition read costs
+// P−1 goroutines and no per-read map.
 func (s *Server) handleRead(req wire.ReadReq) wire.Message {
-	s.mu.Lock()
-	ctx, ok := s.txCtx[req.TxID]
-	s.touchTxLocked(req.TxID)
-	s.mu.Unlock()
+	ctx, ok := s.txCtx.touchGet(req.TxID)
 	if !ok {
 		return wire.ErrorResp{Code: wire.CodeUnknownTx, Msg: "read: unknown transaction " + req.TxID.String()}
 	}
+	if len(req.Keys) == 0 {
+		return wire.ReadResp{}
+	}
 
-	byPartition := make(map[topology.PartitionID][]string)
-	for _, k := range req.Keys {
+	// Detect the single-partition case and build the fan-out grouping in one
+	// pass, hashing each key exactly once: keys before the first mismatch
+	// all belong to the first key's partition, so the grouping can start
+	// from them wholesale when a mismatch ends the fast path.
+	p0 := s.cfg.Topology.PartitionOf(req.Keys[0])
+	var f *readFanout
+	for j, k := range req.Keys[1:] {
 		p := s.cfg.Topology.PartitionOf(k)
-		byPartition[p] = append(byPartition[p], k)
-	}
-
-	var (
-		mu    sync.Mutex
-		items []wire.Item
-		errs  []error
-		wg    sync.WaitGroup
-	)
-	for p, keys := range byPartition {
-		wg.Add(1)
-		go func(p topology.PartitionID, keys []string) {
-			defer wg.Done()
-			slice, err := s.readSliceAt(p, keys, ctx.snapshot)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				errs = append(errs, err)
-				return
+		if f == nil {
+			if p == p0 {
+				continue
 			}
-			items = append(items, slice...)
-		}(p, keys)
+			f = getReadFanout()
+			for _, pk := range req.Keys[:j+1] {
+				f.add(p0, pk)
+			}
+		}
+		f.add(p, k)
 	}
+	if f == nil {
+		items, err := s.readSliceAt(p0, req.Keys, ctx.snapshot)
+		// Refresh the context: the slice may have waited on a remote replica
+		// for a sizeable fraction of the TTL, and the session's next
+		// operation must still find its context alive.
+		s.txCtx.touch(req.TxID)
+		if err != nil {
+			return readErrorResp(err)
+		}
+		s.metrics.readsServed.Add(uint64(len(req.Keys)))
+		return wire.ReadResp{Items: items}
+	}
+	// Rebind before the goroutine capture: closing over f itself would move
+	// the variable to the heap and charge the single-partition fast path —
+	// which never touches it — one allocation per read.
+	g := f
+	var wg sync.WaitGroup
+	for i := 1; i < len(g.parts); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.items[i], g.errs[i] = s.readSliceAt(g.parts[i], g.keys[i], ctx.snapshot)
+		}(i)
+	}
+	g.items[0], g.errs[0] = s.readSliceAt(g.parts[0], g.keys[0], ctx.snapshot)
 	wg.Wait()
-	// Refresh the context again: the fan-out may have consumed a sizeable
-	// slice of the TTL waiting on remote replicas, and the session's next
-	// operation must still find its context alive.
-	s.mu.Lock()
-	s.touchTxLocked(req.TxID)
-	s.mu.Unlock()
-	if len(errs) > 0 {
-		return wire.ErrorResp{Code: wire.CodeUnavailable, Msg: "read: " + errs[0].Error()}
+	s.txCtx.touch(req.TxID)
+
+	if err := g.firstError(); err != nil {
+		putReadFanout(g)
+		return readErrorResp(err)
 	}
+	items := g.mergeInOrder(req.Keys)
+	putReadFanout(g)
 	s.metrics.readsServed.Add(uint64(len(req.Keys)))
 	return wire.ReadResp{Items: items}
+}
+
+// readErrorResp converts a fan-out error into the client-facing response,
+// preserving the remote error code — a CodeTxAborted from a cohort must not
+// be flattened into CodeUnavailable, or clients would retry a transaction
+// that can never succeed. Errors with no wire code are transport failures,
+// which genuinely are unavailability.
+func readErrorResp(err error) wire.Message {
+	var re *wire.RemoteError
+	if errors.As(err, &re) {
+		return wire.ErrorResp{Code: re.Code, Msg: "read: " + re.Msg}
+	}
+	return wire.ErrorResp{Code: wire.CodeUnavailable, Msg: "read: " + err.Error()}
+}
+
+// readFanout is the scratch state of one multi-partition read: the partition
+// grouping, the per-partition result slices, and the merge cursors. Instances
+// cycle through a pool; all slices retain capacity across reads.
+type readFanout struct {
+	parts []topology.PartitionID
+	keys  [][]string
+	items [][]wire.Item
+	errs  []error
+	kcur  []int // merge cursor into keys[i]
+	icur  []int // merge cursor into items[i]
+}
+
+var readFanoutPool = sync.Pool{New: func() interface{} { return new(readFanout) }}
+
+func getReadFanout() *readFanout {
+	return readFanoutPool.Get().(*readFanout)
+}
+
+// maxPooledFanoutKeys caps the per-group key capacity a pooled readFanout
+// may retain, so one pathological huge read does not pin its high-water
+// mark forever (the fan-out analogue of wire.maxPooledCap).
+const maxPooledFanoutKeys = 4096
+
+// putReadFanout truncates and recycles the scratch state. Everything the
+// last read referenced — key strings, result items, errors — is cleared so
+// the pool pins only bare capacity, never response data; outsized scratch
+// is dropped instead of pooled.
+func putReadFanout(f *readFanout) {
+	for i := range f.keys {
+		if cap(f.keys[i]) > maxPooledFanoutKeys {
+			return // let the whole object go; a fresh one starts small
+		}
+	}
+	f.parts = f.parts[:0]
+	for i := range f.keys {
+		clear(f.keys[i])
+		f.keys[i] = f.keys[i][:0]
+	}
+	clear(f.items)
+	f.items = f.items[:0]
+	clear(f.errs)
+	f.errs = f.errs[:0]
+	f.kcur = f.kcur[:0]
+	f.icur = f.icur[:0]
+	readFanoutPool.Put(f)
+}
+
+// add appends key to its partition's group, creating the group on first
+// sight. Reads touch a handful of partitions, so the linear probe beats a
+// map both in allocations and in constant factor.
+func (f *readFanout) add(p topology.PartitionID, key string) {
+	for i, q := range f.parts {
+		if q == p {
+			f.keys[i] = append(f.keys[i], key)
+			return
+		}
+	}
+	f.parts = append(f.parts, p)
+	if len(f.keys) < len(f.parts) {
+		f.keys = append(f.keys, nil)
+	}
+	i := len(f.parts) - 1
+	f.keys[i] = append(f.keys[i][:0], key)
+	f.items = append(f.items, nil)
+	f.errs = append(f.errs, nil)
+	f.kcur = append(f.kcur, 0)
+	f.icur = append(f.icur, 0)
+}
+
+// firstError returns the error to surface: the first non-retryable one if
+// any (a protocol refusal explains the failure better than a coincident
+// transport timeout), else the first error.
+func (f *readFanout) firstError() error {
+	var first error
+	for _, err := range f.errs {
+		if err == nil {
+			continue
+		}
+		if !retryableOnReplica(err) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// mergeInOrder assembles the per-partition slices into one response in
+// request-key order, so responses are deterministic and client-side merging
+// is a plain zip. add filled each group's key list in request order, so a
+// key-cursor per group recovers the grouping by string comparison — no
+// re-hashing (a key hashes to exactly one partition, so at most one group's
+// cursor head can match). Each result slice likewise preserves its
+// sub-request order, walked by its own cursor; keys with no visible version
+// advance the key cursor but not the item cursor.
+func (f *readFanout) mergeInOrder(keys []string) []wire.Item {
+	total := 0
+	for _, sl := range f.items {
+		total += len(sl)
+	}
+	out := make([]wire.Item, 0, total)
+	for _, k := range keys {
+		for i := range f.parts {
+			c := f.kcur[i]
+			if c >= len(f.keys[i]) || f.keys[i][c] != k {
+				continue
+			}
+			f.kcur[i] = c + 1
+			if ic := f.icur[i]; ic < len(f.items[i]) && f.items[i][ic].Key == k {
+				out = append(out, f.items[i][ic])
+				f.icur[i] = ic + 1
+			}
+			break
+		}
+	}
+	return out
 }
 
 // retryableOnReplica reports whether an operation that failed with err may be
@@ -148,13 +321,15 @@ func (s *Server) readSliceAt(p topology.PartitionID, keys []string, snapshot hlc
 }
 
 // readSliceFrom serves the slice from one replica: a local call when the
-// replica is this server, a remote call otherwise.
+// replica is this server, a remote call otherwise. The local PaRiS case goes
+// straight to the store — no message wrapping and unwrapping, no allocation
+// beyond the result slice.
 func (s *Server) readSliceFrom(target topology.NodeID, req wire.ReadSliceReq) ([]wire.Item, error) {
 	if target == s.self {
 		if s.cfg.Mode == ModeBlocking {
 			return sliceItems(s.handleReadSliceBlocking(req))
 		}
-		return sliceItems(s.handleReadSlice(req))
+		return s.readLocal(req.Keys, req.Snapshot), nil
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
 	defer cancel()
@@ -199,10 +374,7 @@ type prepareOutcome struct {
 // partition's alternates; if no replica of some partition acknowledges, the
 // transaction is aborted on every cohort a prepare was sent to.
 func (s *Server) handleCommit(req wire.CommitReq) wire.Message {
-	s.mu.Lock()
-	ctx, ok := s.txCtx[req.TxID]
-	s.touchTxLocked(req.TxID)
-	s.mu.Unlock()
+	ctx, ok := s.txCtx.touchGet(req.TxID)
 	if !ok {
 		return wire.ErrorResp{Code: wire.CodeUnknownTx, Msg: "commit: unknown transaction " + req.TxID.String()}
 	}
@@ -272,8 +444,8 @@ func (s *Server) handleCommit(req wire.CommitReq) wire.Message {
 		// itself lost.
 		s.castAbort(req.TxID, outcomes, false)
 		s.handleAbortTx(wire.AbortTx{TxID: req.TxID})
+		s.txCtx.delete(req.TxID)
 		s.mu.Lock()
-		delete(s.txCtx, req.TxID)
 		delete(s.committing, req.TxID) // the tombstone above now answers queries
 		s.mu.Unlock()
 		s.metrics.txAborted.Add(1)
@@ -300,8 +472,8 @@ func (s *Server) handleCommit(req wire.CommitReq) wire.Message {
 	for _, out := range outcomes {
 		acked = append(acked, out.acked)
 	}
+	s.txCtx.delete(req.TxID)
 	s.mu.Lock()
-	delete(s.txCtx, req.TxID)
 	// Remember the decision (bounded; pruned with the tombstones) so a
 	// cohort whose CohortCommit cast was lost recovers the commit through a
 	// status query instead of reaping an acknowledged transaction. The

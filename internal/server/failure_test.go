@@ -481,9 +481,7 @@ func TestStatusPendingSurvivesContextEviction(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	// Simulate the context-TTL eviction racing the fan-out.
-	s.mu.Lock()
-	delete(s.txCtx, start.TxID)
-	s.mu.Unlock()
+	s.txCtx.delete(start.TxID)
 
 	resp := s.handleTxStatus(topology.ServerID(1, 1), wire.TxStatusReq{TxID: start.TxID})
 	if st := resp.(wire.TxStatusResp); st.Status != wire.TxStatusPending {

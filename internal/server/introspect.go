@@ -11,27 +11,23 @@ import (
 
 // UST returns the server's current universal stable time.
 func (s *Server) UST() hlc.Timestamp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ust
+	return s.ust.Load()
 }
 
 // Sold returns the garbage-collection watermark (oldest active snapshot the
 // stabilization protocol has agreed on).
 func (s *Server) Sold() hlc.Timestamp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sold
+	return s.sold.Load()
 }
 
 // VersionVector returns a copy of the server's version vector, keyed by the
 // replica DCs of its partition.
 func (s *Server) VersionVector() map[topology.DCID]hlc.Timestamp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[topology.DCID]hlc.Timestamp, len(s.vv))
-	for dc, ts := range s.vv {
-		out[dc] = ts
+	out := make(map[topology.DCID]hlc.Timestamp)
+	for dc := range s.vv {
+		if s.vvLive[dc] {
+			out[topology.DCID(dc)] = s.vv[dc].Load()
+		}
 	}
 	return out
 }
@@ -72,9 +68,7 @@ func (s *Server) AbortedCount() int {
 // ActiveTxContexts returns the number of live coordinator transaction
 // contexts.
 func (s *Server) ActiveTxContexts() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.txCtx)
+	return s.txCtx.len()
 }
 
 // ClockNow ticks and returns the server's hybrid logical clock; test-only.

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/paris-kv/paris/internal/clock"
@@ -234,6 +235,13 @@ type txContext struct {
 
 // Server is one partition replica. Construct with New, wire it to a network
 // (Peer / Network.Register), then Start it.
+//
+// State is split by role so the client-operation hot path never contends
+// with replication: ust/sold/vv are atomics (lock-free snapshot assignment
+// and stabilization reads), txCtx lives in a sharded table (per-shard locks,
+// keyed by TxID), and s.mu guards only the replication/stabilization/2PC
+// decision state — prepared, committed, decided, aborted, committing — whose
+// invariants genuinely span several maps.
 type Server struct {
 	cfg   Config
 	self  topology.NodeID
@@ -241,14 +249,28 @@ type Server struct {
 	store *store.MVStore
 	peer  *transport.Peer
 
-	mu sync.Mutex
-	// vv is the version vector V V(m,n): one entry per DC replicating this
-	// partition; vv[own DC] is the local version clock (Alg. 4).
-	vv map[topology.DCID]hlc.Timestamp
-	// ust is the server's universal stable time (ust m n).
-	ust hlc.Timestamp
-	// sold is the garbage-collection watermark (oldest active snapshot).
-	sold     hlc.Timestamp
+	// ust is the server's universal stable time (ust m n); sold is the
+	// garbage-collection watermark (oldest active snapshot). Both are
+	// monotonic and published via atomics: handleStartTx snapshot assignment
+	// and observeUST are lock-free.
+	ust  atomicTS
+	sold atomicTS
+	// vv is the version vector V V(m,n), one slot per DC id (only the DCs
+	// replicating this partition are live — vvLive marks them); vv[own DC] is
+	// the local version clock (Alg. 4). Entries are atomics because every
+	// slot has exactly one natural writer (the apply loop for the own-DC
+	// entry, one FIFO replication link per remote DC) but many lock-free
+	// readers (installed-bound computation, stabilization contribution).
+	vv     []atomicTS
+	vvLive []bool
+
+	// txCtx is the coordinator-side transaction-context table, sharded by
+	// TxID so StartTx/Read/Commit bookkeeping from independent sessions
+	// never serializes on one lock.
+	txCtx txTable
+	txSeq atomic.Uint64
+
+	mu       sync.Mutex
 	prepared map[wire.TxID]*preparedTx
 	// aborted remembers transactions whose prepared state this server
 	// released (coordinator abort or TTL reap), keyed to the release time and
@@ -270,8 +292,6 @@ type Server struct {
 	// committed holds transactions whose commit timestamp is known but whose
 	// writes have not been applied to the store yet.
 	committed []committedTx
-	txCtx     map[wire.TxID]txContext
-	txSeq     uint64
 
 	stab    stabilizer
 	waiters []installWaiter
@@ -298,16 +318,17 @@ func New(cfg Config) (*Server, error) {
 		self:       full.ID,
 		clock:      hlc.NewClock(full.Clock),
 		store:      store.New(),
-		vv:         make(map[topology.DCID]hlc.Timestamp),
+		vv:         make([]atomicTS, full.Topology.NumDCs()),
+		vvLive:     make([]bool, full.Topology.NumDCs()),
 		prepared:   make(map[wire.TxID]*preparedTx),
 		aborted:    make(map[wire.TxID]time.Time),
 		decided:    make(map[wire.TxID]decidedTx),
 		committing: make(map[wire.TxID]struct{}),
-		txCtx:      make(map[wire.TxID]txContext),
 		stopped:    make(chan struct{}),
 	}
+	s.txCtx.init()
 	for _, dc := range full.Topology.ReplicaDCs(full.ID.Partition()) {
-		s.vv[dc] = 0
+		s.vvLive[dc] = true
 	}
 	s.stab.init(s)
 	if full.VisibilitySample > 0 {
@@ -457,9 +478,7 @@ func (s *Server) spawn(fn func()) {
 // snapshot, folding rather than dropping versions of keys governed by a
 // chain-derived resolver (counters, sets).
 func (s *Server) gcTick() {
-	s.mu.Lock()
-	watermark := s.sold
-	s.mu.Unlock()
+	watermark := s.sold.Load()
 	if watermark == 0 {
 		return
 	}
@@ -481,14 +500,9 @@ func (s *Server) gcTick() {
 // enough that no straggling decision for them can still be in flight.
 func (s *Server) ctxCleanupTick() {
 	now := time.Now()
-	cutoff := now.Add(-s.cfg.TxContextTTL)
+	s.txCtx.expire(now.Add(-s.cfg.TxContextTTL))
 	abortCutoff := now.Add(-s.cfg.abortedRetention())
 	s.mu.Lock()
-	for id, ctx := range s.txCtx {
-		if ctx.lastActive.Before(cutoff) {
-			delete(s.txCtx, id)
-		}
-	}
 	for id, at := range s.aborted {
 		if at.Before(abortCutoff) {
 			delete(s.aborted, id)
@@ -500,15 +514,6 @@ func (s *Server) ctxCleanupTick() {
 		}
 	}
 	s.mu.Unlock()
-}
-
-// touchTxLocked refreshes a transaction context's activity clock. Caller
-// holds s.mu.
-func (s *Server) touchTxLocked(id wire.TxID) {
-	if ctx, ok := s.txCtx[id]; ok {
-		ctx.lastActive = time.Now()
-		s.txCtx[id] = ctx
-	}
 }
 
 // reapTick resolves prepared transactions whose decision has been outstanding
@@ -605,13 +610,13 @@ func (s *Server) reapLocked(id wire.TxID, now time.Time) {
 }
 
 // decidingLocked reports whether this coordinator is still working toward a
-// decision for id. Caller holds s.mu.
+// decision for id. Caller holds s.mu (shard locks are leaves below it, so
+// the context probe is safe here).
 func (s *Server) decidingLocked(id wire.TxID) bool {
 	if _, ok := s.committing[id]; ok {
 		return true
 	}
-	_, ok := s.txCtx[id]
-	return ok
+	return s.txCtx.contains(id)
 }
 
 // nodeListed reports whether node appears in list.

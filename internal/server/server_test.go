@@ -497,13 +497,16 @@ func TestCtxCleanupEvictsStaleContexts(t *testing.T) {
 	// Force-age the context's activity clock (the TTL is measured from the
 	// last touch, not from transaction start).
 	age := func() {
-		s.mu.Lock()
-		for id, ctx := range s.txCtx {
-			ctx.started = time.Now().Add(-time.Hour)
-			ctx.lastActive = ctx.started
-			s.txCtx[id] = ctx
+		for i := range s.txCtx.shards {
+			sh := &s.txCtx.shards[i]
+			sh.mu.Lock()
+			for id, ctx := range sh.m {
+				ctx.started = time.Now().Add(-time.Hour)
+				ctx.lastActive = ctx.started
+				sh.m[id] = ctx
+			}
+			sh.mu.Unlock()
 		}
-		s.mu.Unlock()
 	}
 	age()
 	// A read touch revives the context: an old-but-active transaction must

@@ -97,17 +97,15 @@ func (st *stabilizer) localContribution() ([]hlc.Timestamp, hlc.Timestamp) {
 	for i := range vec {
 		vec[i] = hlc.MaxTimestamp
 	}
-	s.mu.Lock()
-	for dc, ts := range s.vv {
-		vec[dc] = ts
-	}
-	oldest := s.ust
-	for _, ctx := range s.txCtx {
-		if ctx.snapshot < oldest {
-			oldest = ctx.snapshot
+	// Version-vector entries and the UST are atomics; the context table is
+	// visited shard by shard. The gossip tick therefore never blocks — or is
+	// blocked by — the client-operation path.
+	for dc := range s.vv {
+		if s.vvLive[dc] && dc < len(vec) {
+			vec[dc] = s.vv[dc].Load()
 		}
 	}
-	s.mu.Unlock()
+	oldest := s.txCtx.minSnapshot(s.ust.Load())
 	return vec, oldest
 }
 
@@ -231,13 +229,7 @@ func (st *stabilizer) pushDown(m wire.USTDown) {
 // Both are forced monotonic: gossip rounds may arrive reordered relative to
 // computation (ust mn ← max{minGST, ust mn}).
 func (s *Server) applyStable(ust, sold hlc.Timestamp) {
-	s.mu.Lock()
-	if ust > s.ust {
-		s.ust = ust
-	}
-	if sold > s.sold {
-		s.sold = sold
-	}
-	s.drainVisibilityLocked()
-	s.mu.Unlock()
+	s.ust.advance(ust)
+	s.sold.advance(sold)
+	s.drainVisibility()
 }

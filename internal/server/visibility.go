@@ -71,15 +71,16 @@ func (v *visibilityTracker) take() []time.Duration {
 	return out
 }
 
-// drainVisibilityLocked updates the tracker with the mode-appropriate
-// visibility bound. Caller holds s.mu.
-func (s *Server) drainVisibilityLocked() {
+// drainVisibility updates the tracker with the mode-appropriate visibility
+// bound. Both bounds are read from atomics, so any goroutine that advances
+// one may drain without holding a server lock (the tracker has its own).
+func (s *Server) drainVisibility() {
 	if s.vis == nil {
 		return
 	}
-	bound := s.ust
+	bound := s.ust.Load()
 	if s.cfg.Mode == ModeBlocking {
-		bound = s.installedLowerBoundLocked()
+		bound = s.installedLowerBound()
 	}
 	s.vis.drain(bound)
 }

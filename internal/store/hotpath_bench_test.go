@@ -1,0 +1,63 @@
+package store
+
+import (
+	"math/rand"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"github.com/paris-kv/paris/internal/hlc"
+)
+
+// seededStore builds a store with versioned chains: keys keys, versions
+// versions each, commit timestamps 1..keys*versions.
+func seededStore(keys, versions int) *MVStore {
+	s := New()
+	rng := rand.New(rand.NewSource(1))
+	for v := 0; v < versions; v++ {
+		for k := 0; k < keys; k++ {
+			s.Apply(item("k"+strconv.Itoa(k), uint64(rng.Intn(keys*versions)+1), uint64(v*keys+k), 0, "v"))
+		}
+	}
+	return s
+}
+
+// BenchmarkReadParallel measures snapshot reads under reader parallelism —
+// the cohort-side hot path of every transaction in the system.
+func BenchmarkReadParallel(b *testing.B) {
+	s := seededStore(1024, 8)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			_, _ = s.Read("k"+strconv.Itoa(i%1024), hlc.Timestamp(1+i%8000))
+			i++
+		}
+	})
+}
+
+// BenchmarkReadDuringGC interleaves snapshot reads with concurrent GC sweeps:
+// the paced collector must never stall a read behind a whole-shard sweep.
+func BenchmarkReadDuringGC(b *testing.B) {
+	s := seededStore(4096, 16)
+	stop := make(chan struct{})
+	var sweeps atomic.Uint64
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.GC(hlc.Timestamp(1000 + sweeps.Load()%60000))
+				sweeps.Add(1)
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = s.Read("k"+strconv.Itoa(i%4096), hlc.Timestamp(1+i%65000))
+	}
+	b.StopTimer()
+	close(stop)
+}

@@ -43,39 +43,40 @@ func (s *MVStore) ReadResolved(key string, snapshot hlc.Timestamp, r Resolver) (
 // derive values from the whole chain (counters, sets). resolverFor returns
 // the resolver governing a key; returning nil selects plain last-writer-wins
 // trimming. It reports the number of versions eliminated.
+// The sweep is the same paced pass GC runs (see gcPaced).
 func (s *MVStore) GCResolve(oldest hlc.Timestamp, resolverFor func(key string) Resolver) int {
-	removed := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		for key, chain := range sh.chains {
-			cut := newestAtOrBelow(chain, oldest)
-			if cut <= 0 {
-				// Either no version is covered by the watermark, or the
-				// covered one is already the oldest: nothing to collect.
-				continue
-			}
-			r := resolverFor(key)
-			if r == nil {
-				removed += cut
-				sh.chains[key] = append([]wire.Item(nil), chain[cut:]...)
-				continue
-			}
-			// Fold everything up to and including the cut version into one
-			// summary stamped with the cut version's identity; pass victims
-			// newest-first per the Resolver contract.
-			victims := make([]wire.Item, 0, cut+1)
-			for j := cut; j >= 0; j-- {
-				victims = append(victims, chain[j])
-			}
-			summary := r.Compact(victims)
-			removed += cut
-			newChain := make([]wire.Item, 0, len(chain)-cut)
-			newChain = append(newChain, summary)
-			newChain = append(newChain, chain[cut+1:]...)
-			sh.chains[key] = newChain
-		}
-		sh.mu.Unlock()
+	return s.gcPaced(oldest, resolverFor)
+}
+
+// gcKey trims or folds one key's chain below the watermark; the caller
+// holds the shard's write lock. It returns the versions eliminated.
+func gcKey(sh *shard, key string, oldest hlc.Timestamp, resolverFor func(key string) Resolver) int {
+	chain := sh.chains[key]
+	cut := newestAtOrBelow(chain, oldest)
+	if cut <= 0 {
+		// Either no version is covered by the watermark, or the covered one
+		// is already the oldest: nothing to collect.
+		return 0
 	}
-	return removed
+	var r Resolver
+	if resolverFor != nil {
+		r = resolverFor(key)
+	}
+	if r == nil {
+		sh.chains[key] = append([]wire.Item(nil), chain[cut:]...)
+		return cut
+	}
+	// Fold everything up to and including the cut version into one summary
+	// stamped with the cut version's identity; pass victims newest-first per
+	// the Resolver contract.
+	victims := make([]wire.Item, 0, cut+1)
+	for j := cut; j >= 0; j-- {
+		victims = append(victims, chain[j])
+	}
+	summary := r.Compact(victims)
+	newChain := make([]wire.Item, 0, len(chain)-cut)
+	newChain = append(newChain, summary)
+	newChain = append(newChain, chain[cut+1:]...)
+	sh.chains[key] = newChain
+	return cut
 }

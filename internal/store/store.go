@@ -212,25 +212,56 @@ func (s *MVStore) Versions() int {
 	return total
 }
 
+// gcBatchKeys bounds how many keys a GC sweep trims per write-lock
+// acquisition, so collection paces itself against concurrent readers instead
+// of stalling them behind a whole-shard sweep.
+const gcBatchKeys = 64
+
 // GC removes versions that no active or future transaction can read: for
 // each key it keeps every version newer than oldest plus the single freshest
 // version with UT ≤ oldest (§IV-B "Garbage collection"). It returns the
 // number of versions removed.
 func (s *MVStore) GC(oldest hlc.Timestamp) int {
+	return s.gcPaced(oldest, nil)
+}
+
+// gcPaced is the shared sweep behind GC and GCResolve. It is paced:
+// candidates are discovered under each shard's read lock (concurrent reads
+// proceed), then trimmed in gcBatchKeys-sized batches under short write-lock
+// windows. A key that gains versions between discovery and trim is
+// re-checked under the write lock, so pacing never cuts a version the
+// watermark does not cover. A nil resolverFor — or a nil resolver for a key
+// — selects plain trimming; otherwise the cut versions fold through the
+// key's resolver.
+func (s *MVStore) gcPaced(oldest hlc.Timestamp, resolverFor func(key string) Resolver) int {
 	removed := 0
+	var keys []string // reused across shards
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.mu.Lock()
-		for key, chain := range sh.chains {
-			cut := newestAtOrBelow(chain, oldest)
-			if cut > 0 {
-				removed += cut
-				sh.chains[key] = append([]wire.Item(nil), chain[cut:]...)
+		keys = gcCandidates(sh, oldest, keys[:0])
+		for start := 0; start < len(keys); start += gcBatchKeys {
+			end := min(start+gcBatchKeys, len(keys))
+			sh.mu.Lock()
+			for _, key := range keys[start:end] {
+				removed += gcKey(sh, key, oldest, resolverFor)
 			}
+			sh.mu.Unlock()
 		}
-		sh.mu.Unlock()
 	}
 	return removed
+}
+
+// gcCandidates collects, under the read lock, the shard's keys with at least
+// one version below the watermark cut.
+func gcCandidates(sh *shard, oldest hlc.Timestamp, keys []string) []string {
+	sh.mu.RLock()
+	for key, chain := range sh.chains {
+		if newestAtOrBelow(chain, oldest) > 0 {
+			keys = append(keys, key)
+		}
+	}
+	sh.mu.RUnlock()
+	return keys
 }
 
 // newestAtOrBelow returns the index (in the ascending chain) of the newest

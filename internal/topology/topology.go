@@ -5,7 +5,6 @@ package topology
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 )
 
@@ -112,10 +111,20 @@ func (t *Topology) ReplicationFactor() int { return int(t.rf) }
 
 // PartitionOf maps a key to its partition with an FNV-1a hash (§II-C: "each
 // key is deterministically assigned to one partition by a hash function").
+// The hash is inlined — hashing runs once per key of every read and write,
+// and hash/fnv would allocate a hasher plus a []byte copy of the key each
+// call.
 func (t *Topology) PartitionOf(key string) PartitionID {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key)) // hash.Hash32 never errors
-	return PartitionID(h.Sum32() % uint32(t.partitions))
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return PartitionID(h % uint32(t.partitions))
 }
 
 // ReplicaDCs returns the R data centers storing partition p, in replica-index

@@ -70,41 +70,67 @@ func (p *Peer) Close() {
 	}
 }
 
+// respChanPool recycles the buffered response channels Call parks on — one
+// channel per in-flight request otherwise, on the hottest RPC path in the
+// system. A channel may be pooled only when no late send can still target
+// it: the clean-response path qualifies (the deliverer removed the pending
+// entry before sending, and the send was consumed), the cancellation and
+// close paths do not.
+var respChanPool = sync.Pool{
+	New: func() interface{} { return make(chan wire.Message, 1) },
+}
+
 // Call sends req to node "to" and waits for the matching response or context
 // cancellation. A wire.ErrorResp response is converted into an error.
 func (p *Peer) Call(ctx context.Context, to topology.NodeID, req wire.Message) (wire.Message, error) {
+	ch := respChanPool.Get().(chan wire.Message)
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		respChanPool.Put(ch)
 		return nil, ErrClosed
 	}
 	ep := p.ep
 	p.nextID++
 	id := p.nextID
-	ch := make(chan wire.Message, 1)
 	p.pending[id] = ch
 	p.mu.Unlock()
+	// On the never-sent error paths the channel may be recycled only if the
+	// pending entry was still ours to remove: a concurrent Close() swaps the
+	// pending map and closes every channel it held, and a closed channel
+	// must never re-enter the pool (a later Call would Get it and the
+	// deliverer's send would panic).
 	if ep == nil {
-		p.forget(id)
+		if p.forget(id) {
+			respChanPool.Put(ch)
+		}
 		return nil, fmt.Errorf("transport: peer %v not attached", p.self)
 	}
 
 	err := ep.Send(Envelope{To: to, Class: ClassRequest, RequestID: id, Msg: req})
 	if err != nil {
-		p.forget(id)
+		if p.forget(id) {
+			respChanPool.Put(ch)
+		}
 		return nil, fmt.Errorf("transport: call %v→%v %v: %w", p.self, to, req.Kind(), err)
 	}
 
 	select {
 	case resp, ok := <-ch:
 		if !ok {
+			// Closed by Close(); the channel is dead — never reuse it.
 			return nil, ErrClosed
 		}
+		// The response was consumed and the pending entry is gone, so no
+		// further send can target this channel: safe to recycle.
+		respChanPool.Put(ch)
 		if e, isErr := resp.(wire.ErrorResp); isErr {
 			return nil, e.Err()
 		}
 		return resp, nil
 	case <-ctx.Done():
+		// A racing Deliver may have removed the pending entry and be about
+		// to send; the channel cannot be recycled safely. Let it go.
 		p.forget(id)
 		return nil, ctx.Err()
 	}
@@ -194,10 +220,15 @@ func (p *Peer) Deliver(env Envelope) {
 	}
 }
 
-func (p *Peer) forget(id uint64) {
+// forget withdraws a pending call and reports whether the entry was still
+// present — false means Close() (or the deliverer) already took it, and the
+// caller no longer owns the channel.
+func (p *Peer) forget(id uint64) bool {
 	p.mu.Lock()
+	_, ok := p.pending[id]
 	delete(p.pending, id)
 	p.mu.Unlock()
+	return ok
 }
 
 // Compile-time interface compliance.

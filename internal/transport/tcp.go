@@ -262,6 +262,12 @@ func (n *TCPNode) readLoop(raw net.Conn, wc *tcpConn) {
 		n.mu.Unlock()
 	}()
 	var header [4]byte
+	// One frame buffer per connection, grown to the high-water mark and
+	// reused for every message: wire.Decode copies strings and byte slices
+	// out of the frame, so nothing delivered aliases it. This mirrors the
+	// encode side's pooled buffers — steady-state receiving allocates only
+	// the decoded message.
+	var frame []byte
 	for {
 		if _, err := io.ReadFull(raw, header[:]); err != nil {
 			return
@@ -270,7 +276,10 @@ func (n *TCPNode) readLoop(raw net.Conn, wc *tcpConn) {
 		if size > maxFrameSize {
 			return // corrupt peer; drop the connection
 		}
-		frame := make([]byte, size)
+		if uint32(cap(frame)) < size {
+			frame = make([]byte, size)
+		}
+		frame = frame[:size]
 		if _, err := io.ReadFull(raw, frame); err != nil {
 			return
 		}
@@ -286,8 +295,16 @@ func (n *TCPNode) readLoop(raw net.Conn, wc *tcpConn) {
 		}
 		env.To = n.self
 		n.handler.Deliver(env)
+		if cap(frame) > maxRetainedFrame {
+			frame = nil // don't let one huge batch pin memory forever
+		}
 	}
 }
+
+// maxRetainedFrame caps the per-connection reusable read buffer; a frame
+// above it is served by a one-off allocation instead (mirrors the encode
+// pool's maxPooledCap).
+const maxRetainedFrame = 4 << 20
 
 // maxFrameSize bounds a single message on the wire (64 MiB, far above any
 // legitimate PaRiS message).
