@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -59,8 +61,52 @@ func main() {
 			"replication batch max items (0 = default 1024, negative disables batching)")
 		batchBytes = flag.Int("batch-bytes", 0,
 			"replication batch max payload bytes (0 = default 1 MiB)")
+		connsPerPeer = flag.Int("conns-per-peer", 0,
+			"TCP stripes per server pair in the loopback TCP arms (0 = default 4)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile   = flag.String("memprofile", "", "write an allocation profile at exit to this file")
+		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("creating -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("starting CPU profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mutexProfile != "" {
+		// Sample every mutex contention event; the bench is short enough that
+		// full sampling costs little and misses nothing.
+		runtime.SetMutexProfileFraction(1)
+		defer func() {
+			f, err := os.Create(*mutexProfile)
+			if err != nil {
+				fatalf("creating -mutexprofile: %v", err)
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fatalf("writing mutex profile: %v", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatalf("creating -memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // flush the final allocations into the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("writing heap profile: %v", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments {
@@ -75,6 +121,7 @@ func main() {
 		Warmup:        *warmup,
 		BatchMaxItems: *batchItems,
 		BatchMaxBytes: *batchBytes,
+		ConnsPerPeer:  *connsPerPeer,
 		Out:           os.Stdout,
 	}
 	if *quick {

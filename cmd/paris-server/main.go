@@ -52,6 +52,12 @@ func main() {
 			"coordinator→cohort round-trip bound (0 = default 60s)")
 		preparedTTL = flag.Duration("prepared-ttl", 0,
 			"reap prepared transactions with no commit/abort decision after this long (0 = default 2×call-timeout, negative disables)")
+		prepBatchMax = flag.Int("prepare-batch-max", 0,
+			"max concurrent prepares coalesced into one PrepareBatch per cohort (0 = default 32, negative disables)")
+		applyWorkers = flag.Int("apply-workers", 0,
+			"parallel store-apply goroutines per ΔR round (0 = default min(GOMAXPROCS, 8), 1 = serial)")
+		connsPerPeer = flag.Int("conns-per-peer", 1,
+			"outbound TCP connections (stripes) per peer; casts keep one FIFO stripe, requests spread by id")
 	)
 	flag.Parse()
 
@@ -75,23 +81,26 @@ func main() {
 
 	id := topology.ServerID(topology.DCID(*dc), topology.PartitionID(*partition))
 	srv, err := server.New(server.Config{
-		ID:             id,
-		Topology:       topo,
-		Mode:           srvMode,
-		ApplyInterval:  *applyInt,
-		BatchMaxItems:  *batchItems,
-		BatchMaxBytes:  *batchBytes,
-		GossipInterval: *gossipInt,
-		USTInterval:    *ustInt,
-		GCInterval:     *gcInt,
-		CallTimeout:    *callTimeout,
-		PreparedTTL:    *preparedTTL,
+		ID:              id,
+		Topology:        topo,
+		Mode:            srvMode,
+		ApplyInterval:   *applyInt,
+		BatchMaxItems:   *batchItems,
+		BatchMaxBytes:   *batchBytes,
+		GossipInterval:  *gossipInt,
+		USTInterval:     *ustInt,
+		GCInterval:      *gcInt,
+		CallTimeout:     *callTimeout,
+		PreparedTTL:     *preparedTTL,
+		PrepareBatchMax: *prepBatchMax,
+		ApplyWorkers:    *applyWorkers,
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	node, err := transport.ListenTCP(id, *listen, book, srv.Peer())
+	node, err := transport.ListenTCPOpts(id, *listen, book, srv.Peer(),
+		transport.TCPOptions{ConnsPerPeer: *connsPerPeer})
 	if err != nil {
 		fatalf("%v", err)
 	}

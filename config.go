@@ -75,6 +75,14 @@ type Config struct {
 	// coordinator's orphans would otherwise freeze the UST system-wide).
 	// 0 selects the default (2×CallTimeout); negative disables the reaper.
 	PreparedTTL time.Duration
+	// PrepareBatchMax caps how many concurrent outbound prepares to one
+	// cohort coalesce into a single PrepareBatch message (group commit).
+	// 0 selects the default (32); negative disables coalescing.
+	PrepareBatchMax int
+	// ApplyWorkers bounds the goroutines applying one ΔR round's writes to
+	// the local store in parallel. 0 selects the default
+	// (min(GOMAXPROCS, 8)); 1 forces serial apply.
+	ApplyWorkers int
 
 	// ClockSkew, when positive, gives each server a fixed clock offset drawn
 	// uniformly from [-ClockSkew, +ClockSkew], emulating imperfect NTP

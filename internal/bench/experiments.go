@@ -30,6 +30,9 @@ type Options struct {
 	// negative BatchMaxItems disables batching).
 	BatchMaxItems int
 	BatchMaxBytes int
+	// ConnsPerPeer is the TCP stripe count per server pair in the loopback
+	// TCP arms (0 = default 4, 1 = single connection).
+	ConnsPerPeer int
 	// Out receives human-readable tables (nil discards them).
 	Out io.Writer
 }
@@ -52,6 +55,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.KeysPerPartition <= 0 {
 		o.KeysPerPartition = 100
+	}
+	if o.ConnsPerPeer <= 0 {
+		o.ConnsPerPeer = 4
 	}
 	if o.Out == nil {
 		o.Out = io.Discard

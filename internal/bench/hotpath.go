@@ -13,6 +13,7 @@ import (
 	"github.com/paris-kv/paris/internal/server"
 	"github.com/paris-kv/paris/internal/topology"
 	"github.com/paris-kv/paris/internal/transport"
+	"github.com/paris-kv/paris/internal/wire"
 	"github.com/paris-kv/paris/internal/workload"
 )
 
@@ -300,9 +301,14 @@ type tcpCluster struct {
 	book    *transport.SyncBook
 	servers []*server.Server
 	nodes   []*transport.TCPNode
+
+	// clients tracks live client-side TCP nodes so messageCounters can sum
+	// the whole deployment's traffic the way MemNet's central counters do.
+	mu      sync.Mutex
+	clients []*transport.TCPNode
 }
 
-func newTCPCluster() (*tcpCluster, error) {
+func newTCPCluster(o Options) (*tcpCluster, error) {
 	topo, err := topology.New(3, 3, 2)
 	if err != nil {
 		return nil, err
@@ -320,7 +326,8 @@ func newTCPCluster() (*tcpCluster, error) {
 			tc.close()
 			return nil, err
 		}
-		node, err := transport.ListenTCP(id, "127.0.0.1:0", tc.book, srv.Peer())
+		node, err := transport.ListenTCPOpts(id, "127.0.0.1:0", tc.book, srv.Peer(),
+			transport.TCPOptions{ConnsPerPeer: o.ConnsPerPeer})
 		if err != nil {
 			tc.close()
 			return nil, err
@@ -363,13 +370,33 @@ func (tc *tcpCluster) newClient(dc topology.DCID, seq int32) (*client.Client, *t
 	}
 	cl.Peer().Attach(node)
 	tc.book.Set(cl.ID(), node.ListenAddr())
+	tc.mu.Lock()
+	tc.clients = append(tc.clients, node)
+	tc.mu.Unlock()
 	return cl, node, nil
+}
+
+// messageCounters sums sent-envelope counts across every node of the
+// deployment — servers and live clients — mirroring harness.messageCounters
+// for MemNet clusters, so TCP rows report msgs/op too.
+func (tc *tcpCluster) messageCounters() (msgs, repl uint64) {
+	tc.mu.Lock()
+	nodes := make([]*transport.TCPNode, 0, len(tc.nodes)+len(tc.clients))
+	nodes = append(nodes, tc.nodes...)
+	nodes = append(nodes, tc.clients...)
+	tc.mu.Unlock()
+	for _, n := range nodes {
+		msgs += n.MessagesSent()
+		byKind := n.MessagesByKind()
+		repl += byKind[wire.KindReplicate] + byKind[wire.KindReplicateBatch] + byKind[wire.KindHeartbeat]
+	}
+	return msgs, repl
 }
 
 // runTCPLoad drives the closed loop against a fresh loopback TCP cluster
 // with threads clients per DC.
 func runTCPLoad(o Options, threads int) (Result, error) {
-	tc, err := newTCPCluster()
+	tc, err := newTCPCluster(o)
 	if err != nil {
 		return Result{}, err
 	}
@@ -435,10 +462,12 @@ func runTCPLoad(o Options, threads int) (Result, error) {
 	}
 
 	time.Sleep(o.Warmup)
+	msgs0, repl0 := tc.messageCounters()
 	close(startGate)
 	measureStart := time.Now()
 	time.Sleep(o.Duration)
 	elapsed := time.Since(measureStart)
+	msgs1, repl1 := tc.messageCounters()
 	close(stopFlag)
 	wg.Wait()
 
@@ -457,6 +486,8 @@ func runTCPLoad(o Options, threads int) (Result, error) {
 		res.Latency.Merge(o.hist)
 	}
 	res.ThroughputTx = float64(res.Committed) / elapsed.Seconds()
+	res.Messages = msgs1 - msgs0
+	res.ReplMessages = repl1 - repl0
 	return res, nil
 }
 

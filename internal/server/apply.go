@@ -25,61 +25,44 @@ import (
 // must be applied in the same round. Applying ct ≤ ub is safe because ub is
 // strictly below every prepared timestamp and the hybrid clock, hence below
 // any future commit timestamp.
+//
+// The loop no longer takes a server-wide lock. ub is assembled from the
+// sharded 2PC table as min(ub0, min{prepared.pt} − 1), where ub0 is a clock
+// reading taken before any shard is visited — the ordering that makes the
+// per-shard scan safe against concurrent prepares (see twoPCTable). The
+// committed drain then visits shards a second time; entries that move from
+// Prepared to Committed between the two passes carry ct > ub by the same
+// argument, so the drain misses nothing the published ub covers.
 func (s *Server) applyTick() {
-	s.mu.Lock()
-
-	var ub hlc.Timestamp
-	if len(s.prepared) > 0 {
+	// ub0 ← max{Clock, HLC}, advanced as a local event so that any prepare
+	// not seen by the scan below proposes strictly above it. MUST precede
+	// the minPrepared scan.
+	ub0 := s.clock.Now()
+	ub := ub0
+	if minPT, ok := s.twoPC.minPrepared(); ok && minPT-1 < ub {
 		// ub ← min{p.pt} − 1: nothing can commit at or below the smallest
 		// prepared proposal (commit times are maxima over proposals).
-		ub = hlc.MaxTimestamp
-		for _, p := range s.prepared {
-			if p.pt < ub {
-				ub = p.pt
-			}
-		}
-		ub--
-	} else {
-		// ub ← max{Clock, HLC}, advanced as a local event so that any later
-		// prepare proposes strictly above ub.
-		ub = s.clock.Now()
+		ub = minPT - 1
 	}
 
 	// Collect committed transactions with ct ≤ ub, ordered by (ct, id).
-	var ready []committedTx
-	if len(s.committed) > 0 {
-		rest := s.committed[:0]
-		for _, c := range s.committed {
-			if c.ct <= ub {
-				ready = append(ready, c)
-			} else {
-				rest = append(rest, c)
-			}
-		}
-		s.committed = rest
-	}
-	sort.Slice(ready, func(i, j int) bool {
-		if ready[i].ct != ready[j].ct {
-			return ready[i].ct < ready[j].ct
-		}
-		return ready[i].id < ready[j].id
-	})
-
-	s.mu.Unlock()
+	ready := s.twoPC.drainCommitted(s.applyReady[:0], ub)
+	sort.Sort(committedByCT(ready))
 
 	// Apply to the multi-version store before exposing ub: a reader that
-	// sees VV[self] = ub must find every version with ut ≤ ub. The whole
-	// round goes through the store in one ApplyBatch pass — ready is sorted
-	// by (ct, id), so inserts hit the chain-tail fast path and each shard
-	// lock is taken once. Neither the store pass nor the vv publication
-	// needs s.mu: the own-DC entry has exactly one writer (this loop), and
-	// the ordering store-then-publish is what readers rely on.
+	// sees VV[self] = ub must find every version with ut ≤ ub. The round's
+	// items go through the store grouped per shard — fanned out over the
+	// apply workers when the round is large — and ready is sorted by
+	// (ct, id), so inserts hit the chain-tail fast path. The worker join is
+	// the round's sequencer: the vv publication below happens only after
+	// every partition of the round has landed, preserving the
+	// store-then-publish ordering readers rely on.
 	if len(ready) > 0 {
 		n := 0
 		for _, c := range ready {
 			n += len(c.writes)
 		}
-		items := make([]wire.Item, 0, n)
+		items := s.applyItems[:0]
 		for _, c := range ready {
 			for _, kv := range c.writes {
 				items = append(items, wire.Item{
@@ -91,12 +74,14 @@ func (s *Server) applyTick() {
 				})
 			}
 		}
-		s.store.ApplyBatch(items)
+		s.store.ApplyBatchConcurrent(items, s.cfg.ApplyWorkers)
 		if s.vis != nil {
 			for _, c := range ready {
 				s.vis.recordCommit(c.ct)
 			}
 		}
+		clear(items)
+		s.applyItems = items[:0]
 	}
 	s.vv[s.self.DC].advance(ub)
 	s.drainVisibility()
@@ -106,19 +91,23 @@ func (s *Server) applyTick() {
 
 	if s.cfg.BatchMaxItems < 0 {
 		s.replicateUnbatched(ready, ub, peers)
-		return
+	} else {
+		// Batched pipeline: the round's commit-timestamp groups plus its
+		// heartbeat coalesce into (usually) one ReplicateBatch per
+		// destination — one wire write per peer per ΔR instead of one per
+		// commit timestamp.
+		chunks := buildReplicateBatches(s.self.DC, ready, ub, s.cfg.BatchMaxItems, s.cfg.BatchMaxBytes)
+		for _, peer := range peers {
+			_ = s.peer.CastBatch(peer, chunks)
+		}
+		if len(ready) > 0 {
+			s.metrics.txApplied.Add(uint64(len(ready)))
+		}
 	}
-
-	// Batched pipeline: the round's commit-timestamp groups plus its
-	// heartbeat coalesce into (usually) one ReplicateBatch per destination —
-	// one wire write per peer per ΔR instead of one per commit timestamp.
-	chunks := buildReplicateBatches(s.self.DC, ready, ub, s.cfg.BatchMaxItems, s.cfg.BatchMaxBytes)
-	for _, peer := range peers {
-		_ = s.peer.CastBatch(peer, chunks)
-	}
-	if len(ready) > 0 {
-		s.metrics.txApplied.Add(uint64(len(ready)))
-	}
+	// Recycle the drain scratch; the outbound messages hold their own
+	// references to the write-sets, so clearing only drops this loop's.
+	clear(ready)
+	s.applyReady = ready[:0]
 }
 
 // replicateUnbatched is the legacy wire path (one Replicate per distinct
@@ -267,7 +256,7 @@ func (s *Server) handleReplicateBatch(m wire.ReplicateBatch) {
 				}
 			}
 		}
-		s.store.ApplyBatch(items)
+		s.store.ApplyBatchConcurrent(items, s.cfg.ApplyWorkers)
 		s.metrics.replItems.Add(uint64(n))
 	}
 	if s.vis != nil {
@@ -336,9 +325,9 @@ func (s *Server) waitInstalled(ts hlc.Timestamp) time.Duration {
 		return 0
 	}
 	w := installWaiter{ts: ts, ready: make(chan struct{})}
-	s.mu.Lock()
+	s.waitMu.Lock()
 	s.waiters = append(s.waiters, w)
-	s.mu.Unlock()
+	s.waitMu.Unlock()
 	// Re-check after publishing the waiter: the bound advances lock-free, so
 	// it may have passed ts between the first check and the registration — a
 	// notifyInstalled in that window would not have seen us. Self-notifying
@@ -357,9 +346,9 @@ func (s *Server) waitInstalled(ts hlc.Timestamp) time.Duration {
 
 // notifyInstalled wakes every waiter whose target the bound has reached.
 func (s *Server) notifyInstalled(bound hlc.Timestamp) {
-	s.mu.Lock()
+	s.waitMu.Lock()
 	if len(s.waiters) == 0 {
-		s.mu.Unlock()
+		s.waitMu.Unlock()
 		return
 	}
 	remaining := s.waiters[:0]
@@ -372,7 +361,7 @@ func (s *Server) notifyInstalled(bound hlc.Timestamp) {
 		}
 	}
 	s.waiters = remaining
-	s.mu.Unlock()
+	s.waitMu.Unlock()
 	for _, w := range wake {
 		close(w.ready)
 	}

@@ -83,17 +83,27 @@ func (s *Server) observeUST(ts hlc.Timestamp) {
 
 // handlePrepare implements Alg. 3 lines 9–14: advance the hybrid clock past
 // everything the client has seen, propose a commit time that reflects
-// causality, and park the transaction in the Prepared queue.
+// causality, and park the transaction in the Prepared queue — all under the
+// transaction's twoPC shard lock, so prepares on different shards proceed in
+// parallel.
 func (s *Server) handlePrepare(req wire.PrepareReq) wire.Message {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.twoPC.shard(req.TxID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
-	if _, dead := s.aborted[req.TxID]; dead {
+	if _, dead := sh.aborted[req.TxID]; dead {
 		// The transaction was already aborted or reaped here; accepting the
 		// prepare would recreate an orphan that no commit can ever resolve.
 		return wire.ErrorResp{Code: wire.CodeTxAborted,
 			Msg: "prepare: transaction " + req.TxID.String() + " already aborted"}
 	}
+
+	// Publish the shard's non-emptiness BEFORE drawing the proposal from the
+	// clock: applyTick reads its clock upper bound ub0 first and then skips
+	// shards whose counter reads zero, so the seq-cst order (counter add →
+	// clock update versus clock read → counter load) guarantees any prepare
+	// the scan misses proposes strictly above ub0. See twoPCTable.
+	sh.nPrepared.Add(1)
 
 	// HLC mn ← max(Clock, ht+1, HLC+1).
 	proposed := s.clock.Update(req.HT)
@@ -105,15 +115,36 @@ func (s *Server) handlePrepare(req wire.PrepareReq) wire.Message {
 		proposed = ust
 		s.clock.Observe(proposed)
 	}
-	s.prepared[req.TxID] = &preparedTx{
+	if !sh.insertPreparedLocked(&preparedTx{
 		id:     req.TxID,
 		pt:     proposed,
 		srcDC:  s.self.DC,
 		writes: dedupWrites(req.Writes),
 		at:     time.Now(),
+	}) {
+		sh.nPrepared.Add(-1) // replaced a duplicate; size is unchanged
 	}
 	s.metrics.prepares.Add(1)
 	return wire.PrepareResp{TxID: req.TxID, Proposed: proposed}
+}
+
+// handlePrepareBatch serves a group-committed prepare fan-out: each carried
+// prepare runs through the ordinary handler (one shard visit each) and the
+// per-transaction outcomes travel back in one message.
+func (s *Server) handlePrepareBatch(req wire.PrepareBatch) wire.Message {
+	resps := make([]wire.PrepareResult, 0, len(req.Reqs))
+	for _, p := range req.Reqs {
+		switch m := s.handlePrepare(p).(type) {
+		case wire.PrepareResp:
+			resps = append(resps, wire.PrepareResult{TxID: p.TxID, Proposed: m.Proposed})
+		case wire.ErrorResp:
+			resps = append(resps, wire.PrepareResult{TxID: p.TxID, Code: m.Code, Msg: m.Msg})
+		default:
+			resps = append(resps, wire.PrepareResult{TxID: p.TxID,
+				Code: wire.CodeUnavailable, Msg: "unexpected prepare response"})
+		}
+	}
+	return wire.PrepareBatchResp{Resps: resps}
 }
 
 // dedupWrites collapses duplicate keys in a write-set, last writer wins — the
@@ -169,13 +200,14 @@ func dedupWrites(kvs []wire.KV) []wire.KV {
 // handleCohortCommit implements Alg. 3 lines 15–19: move the transaction from
 // the Prepared queue to the Committed queue under its final commit timestamp.
 func (s *Server) handleCohortCommit(m wire.CohortCommit) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.twoPC.shard(m.TxID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
 	// HLC mn ← max(HLC, ct, Clock).
 	s.clock.Observe(m.CommitTS)
 
-	if _, dead := s.aborted[m.TxID]; dead {
+	if _, dead := sh.aborted[m.TxID]; dead {
 		// The reaper (or an abort) already released this transaction and the
 		// version-clock upper bound may have advanced past its prepare time;
 		// applying it now would plant a version inside already-served
@@ -185,14 +217,13 @@ func (s *Server) handleCohortCommit(m wire.CohortCommit) {
 		s.metrics.commitsRejected.Add(1)
 		return
 	}
-	p, ok := s.prepared[m.TxID]
+	p, ok := sh.removePreparedLocked(m.TxID)
 	if !ok {
 		// Duplicate or post-shutdown commit; FIFO links make this unreachable
 		// in normal operation.
 		return
 	}
-	delete(s.prepared, m.TxID)
-	s.committed = append(s.committed, committedTx{
+	sh.pushCommittedLocked(committedTx{
 		id:     p.id,
 		ct:     m.CommitTS,
 		srcDC:  p.srcDC,
@@ -206,11 +237,11 @@ func (s *Server) handleCohortCommit(m wire.CohortCommit) {
 // that was retried through another path, and a later CohortCommit or
 // PrepareReq for the id must find the tombstone.
 func (s *Server) handleAbortTx(m wire.AbortTx) {
-	s.mu.Lock()
-	if _, ok := s.prepared[m.TxID]; ok {
-		delete(s.prepared, m.TxID)
+	sh := s.twoPC.shard(m.TxID)
+	sh.mu.Lock()
+	if _, ok := sh.removePreparedLocked(m.TxID); ok {
 		s.metrics.cohortAborts.Add(1)
 	}
-	s.aborted[m.TxID] = time.Now()
-	s.mu.Unlock()
+	sh.aborted[m.TxID] = time.Now()
+	sh.mu.Unlock()
 }

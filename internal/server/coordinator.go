@@ -390,9 +390,10 @@ func (s *Server) handleCommit(req wire.CommitReq) wire.Message {
 	// moment until a decision is recorded, cohort status queries must be
 	// answered "pending" — even if the transaction context is TTL-evicted
 	// while a long failover chain grinds on.
-	s.mu.Lock()
-	s.committing[req.TxID] = struct{}{}
-	s.mu.Unlock()
+	csh := s.twoPC.shard(req.TxID)
+	csh.mu.Lock()
+	csh.committing[req.TxID] = struct{}{}
+	csh.mu.Unlock()
 
 	byPartition := make(map[topology.PartitionID][]wire.KV)
 	for _, kv := range req.Writes {
@@ -445,9 +446,9 @@ func (s *Server) handleCommit(req wire.CommitReq) wire.Message {
 		s.castAbort(req.TxID, outcomes, false)
 		s.handleAbortTx(wire.AbortTx{TxID: req.TxID})
 		s.txCtx.delete(req.TxID)
-		s.mu.Lock()
-		delete(s.committing, req.TxID) // the tombstone above now answers queries
-		s.mu.Unlock()
+		csh.mu.Lock()
+		delete(csh.committing, req.TxID) // the tombstone above now answers queries
+		csh.mu.Unlock()
 		s.metrics.txAborted.Add(1)
 		return wire.ErrorResp{Code: wire.CodeTxAborted, Msg: "commit aborted: " + firstErr.Error()}
 	}
@@ -473,14 +474,14 @@ func (s *Server) handleCommit(req wire.CommitReq) wire.Message {
 		acked = append(acked, out.acked)
 	}
 	s.txCtx.delete(req.TxID)
-	s.mu.Lock()
+	csh.mu.Lock()
 	// Remember the decision (bounded; pruned with the tombstones) so a
 	// cohort whose CohortCommit cast was lost recovers the commit through a
 	// status query instead of reaping an acknowledged transaction. The
 	// in-flight marker comes off only now that the decision is queryable.
-	s.decided[req.TxID] = decidedTx{ct: commitTS, at: time.Now(), acked: acked}
-	delete(s.committing, req.TxID)
-	s.mu.Unlock()
+	csh.decided[req.TxID] = decidedTx{ct: commitTS, at: time.Now(), acked: acked}
+	delete(csh.committing, req.TxID)
+	csh.mu.Unlock()
 	s.metrics.txCommitted.Add(1)
 	return wire.CommitResp{CommitTS: commitTS}
 }
@@ -493,18 +494,19 @@ func (s *Server) handleCommit(req wire.CommitReq) wire.Message {
 // superseded by a failover alternate must discard its entry, or two replicas
 // of one partition would both apply (and re-replicate) the transaction.
 func (s *Server) handleTxStatus(from topology.NodeID, req wire.TxStatusReq) wire.Message {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if d, ok := s.decided[req.TxID]; ok {
+	sh := s.twoPC.shard(req.TxID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if d, ok := sh.decided[req.TxID]; ok {
 		if nodeListed(d.acked, from) {
 			return wire.TxStatusResp{TxID: req.TxID, Status: wire.TxStatusCommitted, CommitTS: d.ct}
 		}
 		return wire.TxStatusResp{TxID: req.TxID, Status: wire.TxStatusAborted}
 	}
-	if _, ok := s.aborted[req.TxID]; ok {
+	if _, ok := sh.aborted[req.TxID]; ok {
 		return wire.TxStatusResp{TxID: req.TxID, Status: wire.TxStatusAborted}
 	}
-	if s.decidingLocked(req.TxID) {
+	if s.decidingLocked(sh, req.TxID) {
 		return wire.TxStatusResp{TxID: req.TxID, Status: wire.TxStatusPending}
 	}
 	return wire.TxStatusResp{TxID: req.TxID, Status: wire.TxStatusUnknown}
@@ -540,9 +542,9 @@ func (s *Server) prepareOn(out *prepareOutcome, prep wire.PrepareReq, node topol
 	if node == s.self {
 		resp = s.handlePrepare(prep)
 	} else {
-		cctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
-		resp, err = s.peer.Call(cctx, node, prep)
-		cancel()
+		// Remote prepares go through the group-commit coalescer: concurrent
+		// prepares to the same cohort leave as one PrepareBatch message.
+		resp, err = s.prepBatch.call(node, prep)
 	}
 	if err == nil {
 		switch m := resp.(type) {

@@ -15,6 +15,19 @@ import (
 // aborted-set guards that keep a dead transaction from being half-applied,
 // and the coordinator's abort fan-out when a cohort cannot prepare.
 
+// agePrepared backdates every prepared entry on s by age, so reaper tests
+// can cross the TTL without sleeping.
+func agePrepared(s *Server, age time.Duration) {
+	for i := range s.twoPC.shards {
+		sh := &s.twoPC.shards[i]
+		sh.mu.Lock()
+		for _, p := range sh.prepared {
+			p.at = time.Now().Add(-age)
+		}
+		sh.mu.Unlock()
+	}
+}
+
 func keyForPartition(t *testing.T, topo *topology.Topology, p topology.PartitionID) string {
 	t.Helper()
 	for i := 0; i < 100000; i++ {
@@ -47,11 +60,7 @@ func TestReaperDrainsOrphanedPrepares(t *testing.T) {
 	if s.PendingPrepared() != 1 {
 		t.Fatal("reaper removed a fresh prepared entry")
 	}
-	s.mu.Lock()
-	for _, p := range s.prepared {
-		p.at = time.Now().Add(-time.Hour)
-	}
-	s.mu.Unlock()
+	agePrepared(s, time.Hour)
 	s.reapTick()
 	if s.PendingPrepared() != 0 {
 		t.Fatal("reaper left an expired prepared entry")
@@ -133,11 +142,10 @@ func TestAbortedTombstonesArePruned(t *testing.T) {
 	rig := newTestRig(t, ModeNonBlocking)
 	s := rig.srv
 	s.HandleCast(topology.ServerID(1, 0), wire.AbortTx{TxID: 7})
-	s.mu.Lock()
-	for id := range s.aborted {
-		s.aborted[id] = time.Now().Add(-24 * time.Hour)
-	}
-	s.mu.Unlock()
+	sh := s.twoPC.shard(7)
+	sh.mu.Lock()
+	sh.aborted[7] = time.Now().Add(-24 * time.Hour)
+	sh.mu.Unlock()
 	s.ctxCleanupTick()
 	if s.AbortedCount() != 0 {
 		t.Fatal("expired tombstone survived pruning")
@@ -199,9 +207,10 @@ func TestPrepareDedupsWriteSetLastWriterWins(t *testing.T) {
 		{Key: "a", Value: []byte("3")},
 		{Key: "a", Value: []byte("4")},
 	}})
-	s.mu.Lock()
-	p := s.prepared[5]
-	s.mu.Unlock()
+	sh := s.twoPC.shard(5)
+	sh.mu.Lock()
+	p := sh.prepared[5]
+	sh.mu.Unlock()
 	if len(p.writes) != 2 {
 		t.Fatalf("deduped write-set has %d entries, want 2", len(p.writes))
 	}
@@ -233,12 +242,11 @@ func TestReaperRecoversLostCommitSelfCoordinated(t *testing.T) {
 	id := wire.NewTxID(0, 0, 5) // coordinator == s0.0 == self
 	s.handlePrepare(wire.PrepareReq{TxID: id, HT: 100,
 		Writes: []wire.KV{{Key: "recov", Value: []byte("v")}}})
-	s.mu.Lock()
-	s.decided[id] = decidedTx{ct: 12345, at: time.Now(), acked: []topology.NodeID{s.self}}
-	for _, p := range s.prepared {
-		p.at = time.Now().Add(-time.Hour)
-	}
-	s.mu.Unlock()
+	sh := s.twoPC.shard(id)
+	sh.mu.Lock()
+	sh.decided[id] = decidedTx{ct: 12345, at: time.Now(), acked: []topology.NodeID{s.self}}
+	sh.mu.Unlock()
+	agePrepared(s, time.Hour)
 
 	s.reapTick()
 	if s.PendingPrepared() != 0 || s.PendingCommitted() != 1 {
@@ -270,11 +278,7 @@ func TestReaperWaitsWhileCoordinatorStillDeciding(t *testing.T) {
 	start := s.handleStartTx(wire.StartTxReq{}).(wire.StartTxResp)
 	s.handlePrepare(wire.PrepareReq{TxID: start.TxID, HT: 100,
 		Writes: []wire.KV{{Key: "slow", Value: []byte("v")}}})
-	s.mu.Lock()
-	for _, p := range s.prepared {
-		p.at = time.Now().Add(-time.Hour)
-	}
-	s.mu.Unlock()
+	agePrepared(s, time.Hour)
 
 	s.reapTick()
 	if s.PendingPrepared() != 1 {
@@ -299,11 +303,7 @@ func TestReaperHardDeadlineWithSilentCoordinator(t *testing.T) {
 	id := wire.NewTxID(1, 0, 3) // coordinator s1.0, silent
 	s.handlePrepare(wire.PrepareReq{TxID: id, HT: 100,
 		Writes: []wire.KV{{Key: "hard", Value: []byte("v")}}})
-	s.mu.Lock()
-	for _, p := range s.prepared {
-		p.at = time.Now().Add(-3 * s.cfg.PreparedTTL)
-	}
-	s.mu.Unlock()
+	agePrepared(s, 3*s.cfg.PreparedTTL)
 
 	s.reapTick()
 	if s.PendingPrepared() != 0 {
@@ -359,18 +359,15 @@ func TestReaperRecoversLostCommitViaStatusQuery(t *testing.T) {
 	// The cohort holds a prepared entry for the same transaction — as if its
 	// prepare had been acknowledged and the CohortCommit cast was then lost.
 	// Mark it acked in the coordinator's decision memory accordingly.
-	coord.mu.Lock()
-	d := coord.decided[start.TxID]
+	csh := coord.twoPC.shard(start.TxID)
+	csh.mu.Lock()
+	d := csh.decided[start.TxID]
 	d.acked = append(d.acked, cohort.self)
-	coord.decided[start.TxID] = d
-	coord.mu.Unlock()
+	csh.decided[start.TxID] = d
+	csh.mu.Unlock()
 	cohort.handlePrepare(wire.PrepareReq{TxID: start.TxID, HT: 100,
 		Writes: []wire.KV{{Key: "lost", Value: []byte("v")}}})
-	cohort.mu.Lock()
-	for _, p := range cohort.prepared {
-		p.at = time.Now().Add(-cohort.cfg.PreparedTTL - time.Second)
-	}
-	cohort.mu.Unlock()
+	agePrepared(cohort, cohort.cfg.PreparedTTL+time.Second)
 
 	cohort.reapTick() // queries the coordinator asynchronously
 	deadline := time.Now().Add(5 * time.Second)
@@ -386,9 +383,10 @@ func TestReaperRecoversLostCommitViaStatusQuery(t *testing.T) {
 	if got := cohort.Metrics().CommitsRecovered; got != 1 {
 		t.Fatalf("CommitsRecovered = %d, want 1", got)
 	}
-	cohort.mu.Lock()
-	recoveredCT := cohort.committed[0].ct
-	cohort.mu.Unlock()
+	ssh := cohort.twoPC.shard(start.TxID)
+	ssh.mu.Lock()
+	recoveredCT := ssh.committed[0].ct
+	ssh.mu.Unlock()
 	if recoveredCT != ct {
 		t.Fatalf("recovered at %v, want the coordinator's decision %v", recoveredCT, ct)
 	}
@@ -397,9 +395,7 @@ func TestReaperRecoversLostCommitViaStatusQuery(t *testing.T) {
 	ghost := wire.NewTxID(0, 0, 999)
 	cohort.handlePrepare(wire.PrepareReq{TxID: ghost, HT: 100,
 		Writes: []wire.KV{{Key: "ghost", Value: []byte("v")}}})
-	cohort.mu.Lock()
-	cohort.prepared[ghost].at = time.Now().Add(-cohort.cfg.PreparedTTL - time.Second)
-	cohort.mu.Unlock()
+	agePrepared(cohort, cohort.cfg.PreparedTTL+time.Second)
 	cohort.reapTick()
 	deadline = time.Now().Add(5 * time.Second)
 	for cohort.PendingPrepared() != 0 {
@@ -428,9 +424,7 @@ func TestSupersededCohortReapsCommittedTransaction(t *testing.T) {
 	// below is a superseded straggler.
 	cohort.handlePrepare(wire.PrepareReq{TxID: start.TxID, HT: 100,
 		Writes: []wire.KV{{Key: "straggler", Value: []byte("v")}}})
-	cohort.mu.Lock()
-	cohort.prepared[start.TxID].at = time.Now().Add(-cohort.cfg.PreparedTTL - time.Second)
-	cohort.mu.Unlock()
+	agePrepared(cohort, cohort.cfg.PreparedTTL+time.Second)
 
 	cohort.reapTick()
 	deadline := time.Now().Add(5 * time.Second)

@@ -44,25 +44,19 @@ func (s *Server) Store() *store.MVStore { return s.store }
 
 // PendingPrepared returns the number of transactions in the prepared queue.
 func (s *Server) PendingPrepared() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.prepared)
+	return s.twoPC.preparedCount()
 }
 
 // PendingCommitted returns the number of committed-but-unapplied
 // transactions.
 func (s *Server) PendingCommitted() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.committed)
+	return s.twoPC.committedCount()
 }
 
 // AbortedCount returns the number of aborted/reaped transaction tombstones
 // currently retained (they age out after the abort retention window).
 func (s *Server) AbortedCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.aborted)
+	return s.twoPC.abortedCount()
 }
 
 // ActiveTxContexts returns the number of live coordinator transaction

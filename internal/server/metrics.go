@@ -26,6 +26,8 @@ type Metrics struct {
 	commitsRejected  atomic.Uint64
 	readFailovers    atomic.Uint64
 	prepareFailovers atomic.Uint64
+	prepBatches      atomic.Uint64
+	prepBatched      atomic.Uint64
 
 	blockMu    sync.Mutex
 	blockCount uint64
@@ -68,6 +70,9 @@ type MetricsSnapshot struct {
 	CommitsRejected  uint64 // CohortCommits refused for aborted/reaped transactions
 	ReadFailovers    uint64 // slice reads retried on an alternate replica
 	PrepareFailovers uint64 // prepares that succeeded on an alternate replica
+
+	PrepareBatches     uint64 // coalesced PrepareBatch messages sent (coordinator role)
+	PrepareBatchedReqs uint64 // prepares that travelled inside those batches
 }
 
 // Metrics returns a snapshot of the server's counters.
@@ -97,5 +102,8 @@ func (s *Server) Metrics() MetricsSnapshot {
 		CommitsRejected:  s.metrics.commitsRejected.Load(),
 		ReadFailovers:    s.metrics.readFailovers.Load(),
 		PrepareFailovers: s.metrics.prepareFailovers.Load(),
+
+		PrepareBatches:     s.metrics.prepBatches.Load(),
+		PrepareBatchedReqs: s.metrics.prepBatched.Load(),
 	}
 }

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// prepareBatcher group-commits the coordinator's outbound 2PC prepare
+// fan-out: concurrent PrepareReqs addressed to the same cohort coalesce into
+// one PrepareBatch wire message. Coalescing is adaptive and timer-free —
+// the first prepare to a quiet destination ships immediately as a plain
+// PrepareReq, and while that call is in flight later prepares queue up and
+// leave together when the pump goroutine takes its next turn. An uncontended
+// prepare therefore pays zero added latency, while a loaded coordinator
+// amortizes framing, syscalls and cohort wakeups over the whole batch, the
+// way the replication pipeline (PR 1) amortizes ReplicateBatch.
+type prepareBatcher struct {
+	s *Server
+
+	mu    sync.Mutex
+	dests map[topology.NodeID]*prepareDest
+}
+
+// prepareDest is one cohort's outbound queue.
+type prepareDest struct {
+	// pumping is true while a goroutine is draining this queue; the caller
+	// that flips it spawns the pump.
+	pumping bool
+	queue   []*pendingPrepare
+}
+
+// pendingPrepare is one queued prepare and its reply channel (buffered, so
+// the pump never blocks on a caller that gave up).
+type pendingPrepare struct {
+	req  wire.PrepareReq
+	done chan prepareReply
+}
+
+type prepareReply struct {
+	resp wire.Message
+	err  error
+}
+
+func (b *prepareBatcher) init(s *Server) {
+	b.s = s
+	b.dests = make(map[topology.NodeID]*prepareDest)
+}
+
+// call sends one prepare to node through the coalescer and waits for its
+// outcome. With batching disabled (PrepareBatchMax < 0) it degenerates to a
+// direct peer call.
+func (b *prepareBatcher) call(node topology.NodeID, req wire.PrepareReq) (wire.Message, error) {
+	s := b.s
+	if s.cfg.PrepareBatchMax < 0 {
+		cctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
+		defer cancel()
+		return s.peer.Call(cctx, node, req)
+	}
+	pp := &pendingPrepare{req: req, done: make(chan prepareReply, 1)}
+	b.mu.Lock()
+	d := b.dests[node]
+	if d == nil {
+		d = &prepareDest{}
+		b.dests[node] = d
+	}
+	d.queue = append(d.queue, pp)
+	spawnPump := !d.pumping
+	if spawnPump {
+		d.pumping = true
+	}
+	b.mu.Unlock()
+	if spawnPump {
+		s.spawn(func() { b.pump(node, d) })
+	}
+	select {
+	case r := <-pp.done:
+		return r.resp, r.err
+	case <-s.stopped:
+		return nil, errors.New("server: stopped while preparing")
+	}
+}
+
+// pump drains one destination's queue, one batch call at a time, and exits
+// when the queue runs dry. Everything queued while a call is in flight forms
+// the next batch (capped at PrepareBatchMax; the remainder waits its turn).
+func (b *prepareBatcher) pump(node topology.NodeID, d *prepareDest) {
+	s := b.s
+	max := s.cfg.PrepareBatchMax
+	for {
+		b.mu.Lock()
+		if len(d.queue) == 0 {
+			d.pumping = false
+			b.mu.Unlock()
+			return
+		}
+		batch := d.queue
+		if len(batch) > max {
+			batch = batch[:max]
+			d.queue = d.queue[max:]
+		} else {
+			d.queue = nil
+		}
+		b.mu.Unlock()
+		b.send(node, batch)
+	}
+}
+
+// send performs one wire call for a batch and distributes the per-prepare
+// outcomes. A single-entry batch travels as a plain PrepareReq so the quiet
+// path is byte-identical to the unbatched protocol (and old peers interop).
+func (b *prepareBatcher) send(node topology.NodeID, batch []*pendingPrepare) {
+	s := b.s
+	cctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
+	defer cancel()
+
+	if len(batch) == 1 {
+		resp, err := s.peer.Call(cctx, node, batch[0].req)
+		batch[0].done <- prepareReply{resp: resp, err: err}
+		return
+	}
+
+	reqs := make([]wire.PrepareReq, len(batch))
+	for i, pp := range batch {
+		reqs[i] = pp.req
+	}
+	resp, err := s.peer.Call(cctx, node, wire.PrepareBatch{Reqs: reqs})
+	if err == nil {
+		s.metrics.prepBatches.Add(1)
+		s.metrics.prepBatched.Add(uint64(len(batch)))
+	}
+	switch m := resp.(type) {
+	case wire.PrepareBatchResp:
+		if len(m.Resps) != len(batch) {
+			err = fmt.Errorf("server: prepare batch answered %d of %d prepares", len(m.Resps), len(batch))
+			break
+		}
+		for i, r := range m.Resps {
+			var one wire.Message
+			if r.Code == 0 {
+				one = wire.PrepareResp{TxID: r.TxID, Proposed: r.Proposed}
+			} else {
+				one = wire.ErrorResp{Code: r.Code, Msg: r.Msg}
+			}
+			batch[i].done <- prepareReply{resp: one}
+		}
+		return
+	case wire.ErrorResp:
+		// A whole-batch refusal (e.g. shutting down) applies to every entry.
+		for _, pp := range batch {
+			pp.done <- prepareReply{resp: m}
+		}
+		return
+	case nil:
+		// fall through to the error fan-out below
+	default:
+		err = fmt.Errorf("server: unexpected prepare-batch response %v", resp.Kind())
+	}
+	if err == nil {
+		err = errors.New("server: empty prepare-batch response")
+	}
+	for _, pp := range batch {
+		pp.done <- prepareReply{err: err}
+	}
+}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/paris-kv/paris/internal/clock"
+	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/transport"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// TestPrepareBatcherCoalesces drives the group-commit prepare path end to
+// end over a real (latency-bearing) MemNet link: a burst of concurrent
+// prepares from one coordinator to one cohort must coalesce into PrepareBatch
+// wire messages while the first in-flight call holds the pump, every caller
+// must still get its own correct PrepareResp, and the cohort must hold one
+// prepared entry per transaction afterwards.
+func TestPrepareBatcherCoalesces(t *testing.T) {
+	topo, err := topology.New(3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 ms one-way keeps the first call in flight long enough that the rest
+	// of the burst queues behind it deterministically.
+	net := transport.NewMemNet(transport.Uniform{IntraDC: time.Millisecond, InterDC: 3 * time.Millisecond})
+	defer func() { _ = net.Close() }()
+
+	newServer := func(id topology.NodeID) *Server {
+		srv, err := New(Config{ID: id, Topology: topo, Mode: ModeNonBlocking,
+			Clock: clock.NewManual(1000)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := net.Register(id, srv.Peer())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Peer().Attach(ep)
+		t.Cleanup(srv.Stop)
+		return srv
+	}
+
+	// Coordinator in DC 0 on partition 0; cohort is partition 1's replica in
+	// DC 1, so every prepare below crosses the inter-DC link.
+	coord := newServer(topology.ServerID(0, 0))
+	cohortID := topology.ServerID(1, 1)
+	cohort := newServer(cohortID)
+
+	const n = 16
+	key := keysOn(t, topo, topology.PartitionID(1), 1)[0]
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	resps := make([]wire.Message, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := wire.NewTxID(coord.self.DC, coord.self.Partition(), uint64(i+1))
+			resps[i], errs[i] = coord.prepBatch.call(cohortID, wire.PrepareReq{
+				TxID: id, HT: coord.clock.Now(),
+				Writes: []wire.KV{{Key: key, Value: []byte("v")}},
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("prepare %d: %v", i, errs[i])
+		}
+		pr, ok := resps[i].(wire.PrepareResp)
+		if !ok {
+			t.Fatalf("prepare %d answered %#v, want PrepareResp", i, resps[i])
+		}
+		if pr.TxID != wire.NewTxID(coord.self.DC, coord.self.Partition(), uint64(i+1)) {
+			t.Fatalf("prepare %d got response for %v", i, pr.TxID)
+		}
+		if pr.Proposed == 0 {
+			t.Fatalf("prepare %d proposed zero timestamp", i)
+		}
+	}
+
+	m := coord.Metrics()
+	if m.PrepareBatches == 0 {
+		t.Fatal("no PrepareBatch sent: burst never coalesced")
+	}
+	if m.PrepareBatchedReqs < 2 {
+		t.Fatalf("PrepareBatchedReqs = %d, want >= 2", m.PrepareBatchedReqs)
+	}
+	if got := cohort.PendingPrepared(); got != n {
+		t.Fatalf("cohort holds %d prepared entries, want %d", got, n)
+	}
+}
+
+// TestPrepareBatcherDisabled pins the negative-knob contract: with
+// PrepareBatchMax < 0 every prepare is a direct call and no batch metrics
+// move.
+func TestPrepareBatcherDisabled(t *testing.T) {
+	topo, err := topology.New(3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewMemNet(nil)
+	defer func() { _ = net.Close() }()
+
+	coord, err := New(Config{ID: topology.ServerID(0, 0), Topology: topo,
+		Mode: ModeNonBlocking, Clock: clock.NewManual(1000), PrepareBatchMax: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := net.Register(coord.self, coord.Peer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Peer().Attach(ep)
+	t.Cleanup(coord.Stop)
+
+	cohortID := topology.ServerID(1, 1)
+	cohort, err := New(Config{ID: cohortID, Topology: topo,
+		Mode: ModeNonBlocking, Clock: clock.NewManual(1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cep, err := net.Register(cohortID, cohort.Peer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cohort.Peer().Attach(cep)
+	t.Cleanup(cohort.Stop)
+
+	key := keysOn(t, topo, topology.PartitionID(1), 1)[0]
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := wire.NewTxID(coord.self.DC, coord.self.Partition(), uint64(i+1))
+			resp, err := coord.prepBatch.call(cohortID, wire.PrepareReq{
+				TxID: id, HT: coord.clock.Now(),
+				Writes: []wire.KV{{Key: key, Value: []byte("v")}},
+			})
+			if err != nil {
+				t.Errorf("prepare %d: %v", i, err)
+				return
+			}
+			if _, ok := resp.(wire.PrepareResp); !ok {
+				t.Errorf("prepare %d answered %#v", i, resp)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if m := coord.Metrics(); m.PrepareBatches != 0 || m.PrepareBatchedReqs != 0 {
+		t.Fatalf("batch metrics moved with batching disabled: %+v", m)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +82,18 @@ type Config struct {
 	// 0 selects the default (1 MiB). A single group larger than either cap
 	// still travels whole: caps split rounds, never transactions.
 	BatchMaxBytes int
+	// PrepareBatchMax caps how many concurrent outbound 2PC prepares to one
+	// destination cohort are coalesced into a single PrepareBatch wire
+	// message (group commit for the prepare fan-out, amortizing per-message
+	// framing the way the replication pipeline does for writes). 0 selects
+	// the default (32); a negative value disables coalescing and sends every
+	// prepare as its own PrepareReq.
+	PrepareBatchMax int
+	// ApplyWorkers is the number of store-apply worker goroutines a ΔR round
+	// fans out to; the round's version-clock publication waits for all of
+	// them (store-then-publish). 0 selects the default (GOMAXPROCS, capped
+	// at 8); 1 or a negative value applies serially on the loop goroutine.
+	ApplyWorkers int
 	// GossipInterval is ΔG: the cadence of intra-DC aggregation and
 	// inter-DC root exchange.
 	GossipInterval time.Duration
@@ -121,13 +134,15 @@ type Config struct {
 
 // Defaults mirror the paper's 5 ms stabilization cadence.
 const (
-	defaultApplyInterval  = 5 * time.Millisecond
-	defaultGossipInterval = 5 * time.Millisecond
-	defaultUSTInterval    = 5 * time.Millisecond
-	defaultTxContextTTL   = 30 * time.Second
-	defaultCallTimeout    = 60 * time.Second
-	defaultBatchMaxItems  = 1024
-	defaultBatchMaxBytes  = 1 << 20
+	defaultApplyInterval   = 5 * time.Millisecond
+	defaultGossipInterval  = 5 * time.Millisecond
+	defaultUSTInterval     = 5 * time.Millisecond
+	defaultTxContextTTL    = 30 * time.Second
+	defaultCallTimeout     = 60 * time.Second
+	defaultBatchMaxItems   = 1024
+	defaultBatchMaxBytes   = 1 << 20
+	defaultPrepareBatchMax = 32
+	maxDefaultApplyWorkers = 8
 )
 
 func (c *Config) withDefaults() (Config, error) {
@@ -159,6 +174,18 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.BatchMaxBytes == 0 {
 		cfg.BatchMaxBytes = defaultBatchMaxBytes
+	}
+	if cfg.PrepareBatchMax == 0 {
+		cfg.PrepareBatchMax = defaultPrepareBatchMax
+	}
+	if cfg.ApplyWorkers == 0 {
+		cfg.ApplyWorkers = runtime.GOMAXPROCS(0)
+		if cfg.ApplyWorkers > maxDefaultApplyWorkers {
+			cfg.ApplyWorkers = maxDefaultApplyWorkers
+		}
+	}
+	if cfg.ApplyWorkers < 1 {
+		cfg.ApplyWorkers = 1
 	}
 	if cfg.GossipInterval <= 0 {
 		cfg.GossipInterval = defaultGossipInterval
@@ -239,9 +266,10 @@ type txContext struct {
 // State is split by role so the client-operation hot path never contends
 // with replication: ust/sold/vv are atomics (lock-free snapshot assignment
 // and stabilization reads), txCtx lives in a sharded table (per-shard locks,
-// keyed by TxID), and s.mu guards only the replication/stabilization/2PC
-// decision state — prepared, committed, decided, aborted, committing — whose
-// invariants genuinely span several maps.
+// keyed by TxID), and the 2PC decision state — prepared, committed, decided,
+// aborted, committing — lives in a second TxID-sharded table (twoPCTable)
+// whose per-shard locks keep prepares, cohort commits and the apply loop's
+// upper-bound computation from serializing on one mutex.
 type Server struct {
 	cfg   Config
 	self  topology.NodeID
@@ -270,30 +298,25 @@ type Server struct {
 	txCtx txTable
 	txSeq atomic.Uint64
 
-	mu       sync.Mutex
-	prepared map[wire.TxID]*preparedTx
-	// aborted remembers transactions whose prepared state this server
-	// released (coordinator abort or TTL reap), keyed to the release time and
-	// pruned after abortedRetention. A CohortCommit for a reaped transaction
-	// MUST be rejected: the version-clock upper bound has already advanced
-	// past its prepare time, so applying it would insert a version inside
-	// snapshots that readers have already taken.
-	aborted map[wire.TxID]time.Time
-	// decided remembers the commit timestamps of transactions this server
-	// coordinated (bounded: pruned after abortedRetention). It answers
-	// TxStatusReq from cohort reapers, so a commit whose CohortCommit cast
-	// was lost in transit is recovered instead of reaped.
-	decided map[wire.TxID]decidedTx
-	// committing marks transactions whose 2PC fan-out is in flight on this
-	// coordinator. It keeps status queries answering "pending" for the whole
-	// prepare phase — the txCtx entry alone is not enough, because a long
-	// failover chain can outlive the context TTL.
-	committing map[wire.TxID]struct{}
-	// committed holds transactions whose commit timestamp is known but whose
-	// writes have not been applied to the store yet.
-	committed []committedTx
+	// twoPC is the sharded 2PC decision table: prepared, committed, aborted
+	// tombstones, decided and committing, co-located per TxID shard. Each
+	// entry's documentation lives on twoPCShard. Before PR 6 all of it sat
+	// under one Server.mu, which serialized the whole commit plane.
+	twoPC twoPCTable
 
-	stab    stabilizer
+	// prepBatch coalesces concurrent outbound 2PC prepares per destination
+	// cohort into PrepareBatch wire messages (group commit).
+	prepBatch prepareBatcher
+
+	// applyReady is the applyTick drain scratch, reused across rounds (the
+	// loop is single-goroutine). applyItems is the corresponding flattened
+	// write-item scratch handed to the store.
+	applyReady []committedTx
+	applyItems []wire.Item
+
+	stab stabilizer
+
+	waitMu  sync.Mutex
 	waiters []installWaiter
 	vis     *visibilityTracker
 
@@ -314,19 +337,17 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:        full,
-		self:       full.ID,
-		clock:      hlc.NewClock(full.Clock),
-		store:      store.New(),
-		vv:         make([]atomicTS, full.Topology.NumDCs()),
-		vvLive:     make([]bool, full.Topology.NumDCs()),
-		prepared:   make(map[wire.TxID]*preparedTx),
-		aborted:    make(map[wire.TxID]time.Time),
-		decided:    make(map[wire.TxID]decidedTx),
-		committing: make(map[wire.TxID]struct{}),
-		stopped:    make(chan struct{}),
+		cfg:     full,
+		self:    full.ID,
+		clock:   hlc.NewClock(full.Clock),
+		store:   store.New(),
+		vv:      make([]atomicTS, full.Topology.NumDCs()),
+		vvLive:  make([]bool, full.Topology.NumDCs()),
+		stopped: make(chan struct{}),
 	}
 	s.txCtx.init()
+	s.twoPC.init()
+	s.prepBatch.init(s)
 	for _, dc := range full.Topology.ReplicaDCs(full.ID.Partition()) {
 		s.vvLive[dc] = true
 	}
@@ -431,6 +452,8 @@ func (s *Server) HandleRequest(from topology.NodeID, req wire.Message, reply fun
 		}
 	case wire.PrepareReq:
 		reply(s.handlePrepare(m))
+	case wire.PrepareBatch:
+		reply(s.handlePrepareBatch(m))
 	case wire.TxStatusReq:
 		reply(s.handleTxStatus(from, m))
 	default:
@@ -501,19 +524,7 @@ func (s *Server) gcTick() {
 func (s *Server) ctxCleanupTick() {
 	now := time.Now()
 	s.txCtx.expire(now.Add(-s.cfg.TxContextTTL))
-	abortCutoff := now.Add(-s.cfg.abortedRetention())
-	s.mu.Lock()
-	for id, at := range s.aborted {
-		if at.Before(abortCutoff) {
-			delete(s.aborted, id)
-		}
-	}
-	for id, d := range s.decided {
-		if d.at.Before(abortCutoff) {
-			delete(s.decided, id)
-		}
-	}
-	s.mu.Unlock()
+	s.twoPC.pruneDecisions(now.Add(-s.cfg.abortedRetention()))
 }
 
 // reapTick resolves prepared transactions whose decision has been outstanding
@@ -555,41 +566,48 @@ func (s *Server) reapTick() {
 		recovered int
 		resolve   []wire.TxID
 	)
-	s.mu.Lock()
-	for id, p := range s.prepared {
-		if p.at.After(softCutoff) {
+	for i := range s.twoPC.shards {
+		sh := &s.twoPC.shards[i]
+		if sh.nPrepared.Load() == 0 {
 			continue
 		}
-		coord := id.Coordinator()
-		if coord == s.self {
-			// The decision, if any, is local: no query needed.
-			if d, ok := s.decided[id]; ok {
-				if nodeListed(d.acked, s.self) {
-					s.promoteLocked(p, d.ct)
-					recovered++
-				} else {
-					// Superseded during failover; the commit lives on
-					// another replica.
-					s.reapLocked(id, now)
+		sh.mu.Lock()
+		for id, p := range sh.prepared {
+			if p.at.After(softCutoff) {
+				continue
+			}
+			coord := id.Coordinator()
+			if coord == s.self {
+				// The decision, if any, is local — and on this very shard,
+				// since both tables key by the same id: no query needed.
+				if d, ok := sh.decided[id]; ok {
+					if nodeListed(d.acked, s.self) {
+						s.promoteLocked(sh, p, d.ct)
+						recovered++
+					} else {
+						// Superseded during failover; the commit lives on
+						// another replica.
+						s.reapLocked(sh, id, now)
+						reaped++
+					}
+				} else if !s.decidingLocked(sh, id) {
+					s.reapLocked(sh, id, now)
 					reaped++
 				}
-			} else if !s.decidingLocked(id) {
-				s.reapLocked(id, now)
-				reaped++
+				continue
 			}
-			continue
+			if p.at.Before(hardCutoff) {
+				s.reapLocked(sh, id, now)
+				reaped++
+				continue
+			}
+			if !p.resolving {
+				p.resolving = true
+				resolve = append(resolve, id)
+			}
 		}
-		if p.at.Before(hardCutoff) {
-			s.reapLocked(id, now)
-			reaped++
-			continue
-		}
-		if !p.resolving {
-			p.resolving = true
-			resolve = append(resolve, id)
-		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	if reaped > 0 {
 		s.metrics.txReaped.Add(uint64(reaped))
 	}
@@ -603,17 +621,17 @@ func (s *Server) reapTick() {
 }
 
 // reapLocked releases a prepared entry and tombstones its id. Caller holds
-// s.mu.
-func (s *Server) reapLocked(id wire.TxID, now time.Time) {
-	delete(s.prepared, id)
-	s.aborted[id] = now
+// sh.mu, where sh is id's twoPC shard.
+func (s *Server) reapLocked(sh *twoPCShard, id wire.TxID, now time.Time) {
+	sh.removePreparedLocked(id)
+	sh.aborted[id] = now
 }
 
 // decidingLocked reports whether this coordinator is still working toward a
-// decision for id. Caller holds s.mu (shard locks are leaves below it, so
-// the context probe is safe here).
-func (s *Server) decidingLocked(id wire.TxID) bool {
-	if _, ok := s.committing[id]; ok {
+// decision for id. Caller holds sh.mu, id's twoPC shard (txCtx shard locks
+// are leaves below twoPC shard locks, so the context probe is safe here).
+func (s *Server) decidingLocked(sh *twoPCShard, id wire.TxID) bool {
+	if _, ok := sh.committing[id]; ok {
 		return true
 	}
 	return s.txCtx.contains(id)
@@ -630,11 +648,12 @@ func nodeListed(list []topology.NodeID, node topology.NodeID) bool {
 }
 
 // promoteLocked moves a prepared entry to the committed queue at ct — the
-// recovery path for a commit whose notification was lost. Caller holds s.mu.
-func (s *Server) promoteLocked(p *preparedTx, ct hlc.Timestamp) {
-	delete(s.prepared, p.id)
+// recovery path for a commit whose notification was lost. Caller holds sh.mu,
+// the entry's twoPC shard.
+func (s *Server) promoteLocked(sh *twoPCShard, p *preparedTx, ct hlc.Timestamp) {
+	sh.removePreparedLocked(p.id)
 	s.clock.Observe(ct)
-	s.committed = append(s.committed, committedTx{
+	sh.pushCommittedLocked(committedTx{
 		id:     p.id,
 		ct:     ct,
 		srcDC:  p.srcDC,
@@ -658,9 +677,10 @@ func (s *Server) resolveOrphan(id wire.TxID) {
 	close(watch)
 	cancel()
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, present := s.prepared[id]
+	sh := s.twoPC.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p, present := sh.prepared[id]
 	if !present {
 		return // resolved meanwhile (commit, abort, or hard-deadline reap)
 	}
@@ -671,13 +691,13 @@ func (s *Server) resolveOrphan(id wire.TxID) {
 	}
 	switch st.Status {
 	case wire.TxStatusCommitted:
-		s.promoteLocked(p, st.CommitTS)
+		s.promoteLocked(sh, p, st.CommitTS)
 		s.metrics.commitsRecovered.Add(1)
 	case wire.TxStatusPending:
 		// Decision still in flight (e.g. slow prepare failover on another
 		// partition); check again next sweep.
 	default: // aborted or unknown
-		s.reapLocked(id, time.Now())
+		s.reapLocked(sh, id, time.Now())
 		s.metrics.txReaped.Add(1)
 	}
 }

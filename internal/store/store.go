@@ -121,6 +121,78 @@ func (s *MVStore) ApplyBatch(items []wire.Item) {
 	}
 }
 
+// applyConcurrentMinItems is the batch size below which ApplyBatchConcurrent
+// falls back to the serial single-pass ApplyBatch: spawning workers for a
+// handful of items costs more than it saves.
+const applyConcurrentMinItems = 64
+
+// ApplyBatchConcurrent is ApplyBatch with the per-shard apply work fanned out
+// over up to `workers` goroutines. Shards are disjoint, so workers never
+// contend on a chain; each worker takes a contiguous run of shards from the
+// same counting-sort grouping the serial path builds. The call returns only
+// after every item has landed — callers that publish a version-clock bound
+// after the batch (the ΔR apply loop) get the same store-then-publish
+// ordering the serial path gives them, with the join acting as the round's
+// sequencer.
+func (s *MVStore) ApplyBatchConcurrent(items []wire.Item, workers int) {
+	if workers <= 1 || len(items) < applyConcurrentMinItems {
+		s.ApplyBatch(items)
+		return
+	}
+	idx := make([]uint8, len(items))
+	var counts [numShards]int32
+	for i := range items {
+		si := shardIndex(items[i].Key)
+		idx[i] = uint8(si)
+		counts[si]++
+	}
+	var starts [numShards]int32
+	sum := int32(0)
+	occupied := 0
+	for si := range counts {
+		starts[si] = sum
+		sum += counts[si]
+		if counts[si] > 0 {
+			occupied++
+		}
+	}
+	order := make([]int32, len(items))
+	next := starts
+	for i := range items {
+		si := idx[i]
+		order[next[si]] = int32(i)
+		next[si]++
+	}
+	if workers > occupied {
+		workers = occupied
+	}
+	// Deal occupied shards round-robin to workers: consecutive busy shards
+	// land on different workers, which evens the load when traffic clusters.
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			seen := 0
+			for si := range counts {
+				if counts[si] == 0 {
+					continue
+				}
+				if seen%workers == w {
+					sh := &s.shards[si]
+					sh.mu.Lock()
+					for _, i := range order[starts[si] : starts[si]+counts[si]] {
+						sh.apply(items[i])
+					}
+					sh.mu.Unlock()
+				}
+				seen++
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // apply inserts one version; the caller holds sh.mu.
 func (sh *shard) apply(item wire.Item) {
 	chain := sh.chains[item.Key]

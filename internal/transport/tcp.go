@@ -7,26 +7,37 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"github.com/paris-kv/paris/internal/topology"
 	"github.com/paris-kv/paris/internal/wire"
 )
 
 // TCPNode attaches one node to a real TCP network: it listens for inbound
-// connections from peers and lazily dials one outbound connection per peer.
-// Each outbound connection is written by a single goroutine, so per-link FIFO
-// order — the protocol's channel assumption — is inherited from TCP itself.
+// connections from peers and lazily dials up to ConnsPerPeer outbound
+// connections (stripes) per peer. Each outbound connection is written by a
+// single goroutine, so per-connection FIFO order is inherited from TCP
+// itself; stripe selection (see stripe) keeps every message class that
+// depends on the protocol's FIFO-channel assumption — casts, i.e.
+// replication, CohortCommit and AbortTx — on one fixed stripe per peer pair,
+// while request/response traffic, which is matched by RequestID and needs no
+// ordering, spreads across the rest. Striping exists because a single TCP
+// connection serializes all RPCs between two servers through one write queue
+// and one kernel socket; under multi-core load that single writer becomes
+// the bottleneck long before the NIC does.
 //
 // TCPNode implements Endpoint; unlike MemNet there is no central Network
 // object because each node lives in its own process (see cmd/paris-server).
 type TCPNode struct {
-	self    topology.NodeID
-	book    AddressBook
-	handler Handler
-	ln      net.Listener
+	self     topology.NodeID
+	book     AddressBook
+	handler  Handler
+	ln       net.Listener
+	nstripes int
 
-	mu      sync.Mutex
-	conns   map[topology.NodeID]*tcpConn
+	mu sync.Mutex
+	// conns holds the outbound stripe set per peer; slots dial lazily.
+	conns   map[topology.NodeID][]*tcpConn
 	inbound map[net.Conn]*tcpConn
 	// routes maps a peer to the write side of an inbound connection it
 	// opened to us. Nodes absent from the address book — clients, which
@@ -35,6 +46,22 @@ type TCPNode struct {
 	routes map[topology.NodeID]*tcpConn
 	closed bool
 	wg     sync.WaitGroup
+
+	// Message counters, mirroring MemNet's so benchmarks can report
+	// msgs/op and batching factors for real-TCP clusters too.
+	sent        atomic.Uint64
+	batches     atomic.Uint64
+	batchedEnvs atomic.Uint64
+	byKindMu    sync.Mutex
+	byKind      map[wire.Kind]uint64
+}
+
+// TCPOptions tunes a TCPNode beyond the required constructor arguments.
+type TCPOptions struct {
+	// ConnsPerPeer is the number of outbound connections (stripes) dialed
+	// per peer. 0 or 1 keeps the single-connection behavior. Casts always
+	// share one stripe (FIFO); requests and responses hash by RequestID.
+	ConnsPerPeer int
 }
 
 // AddressBook resolves node ids to dialable addresses.
@@ -59,18 +86,29 @@ func (b StaticBook) Addr(id topology.NodeID) (string, error) {
 // returned node delivers inbound envelopes to handler and must be closed by
 // the caller.
 func ListenTCP(self topology.NodeID, listenAddr string, book AddressBook, handler Handler) (*TCPNode, error) {
+	return ListenTCPOpts(self, listenAddr, book, handler, TCPOptions{})
+}
+
+// ListenTCPOpts is ListenTCP with explicit options.
+func ListenTCPOpts(self topology.NodeID, listenAddr string, book AddressBook, handler Handler, opts TCPOptions) (*TCPNode, error) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
 	}
+	nstripes := opts.ConnsPerPeer
+	if nstripes < 1 {
+		nstripes = 1
+	}
 	n := &TCPNode{
-		self:    self,
-		book:    book,
-		handler: handler,
-		ln:      ln,
-		conns:   make(map[topology.NodeID]*tcpConn),
-		inbound: make(map[net.Conn]*tcpConn),
-		routes:  make(map[topology.NodeID]*tcpConn),
+		self:     self,
+		book:     book,
+		handler:  handler,
+		ln:       ln,
+		nstripes: nstripes,
+		conns:    make(map[topology.NodeID][]*tcpConn),
+		inbound:  make(map[net.Conn]*tcpConn),
+		routes:   make(map[topology.NodeID]*tcpConn),
+		byKind:   make(map[wire.Kind]uint64),
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -80,13 +118,59 @@ func ListenTCP(self topology.NodeID, listenAddr string, book AddressBook, handle
 // ListenAddr returns the bound listen address (useful with ":0").
 func (n *TCPNode) ListenAddr() string { return n.ln.Addr().String() }
 
+// stripe picks the outbound connection index for an envelope. Casts carry
+// the protocol's FIFO-channel assumption (replication order, CohortCommit
+// before a later AbortTx), so every cast between one pair of nodes maps to
+// the same stripe; requests and responses are matched by RequestID on the
+// receiving side and may fan out across all stripes.
+func (n *TCPNode) stripe(env Envelope) int {
+	if n.nstripes == 1 {
+		return 0
+	}
+	if env.Class == ClassCast {
+		return int(uint32(env.From.Index)) % n.nstripes
+	}
+	return int(env.RequestID % uint64(n.nstripes))
+}
+
+// countSend tallies one sent envelope (sent total + per-kind).
+func (n *TCPNode) countSend(env *Envelope) {
+	n.sent.Add(1)
+	n.byKindMu.Lock()
+	n.byKind[env.Msg.Kind()]++
+	n.byKindMu.Unlock()
+}
+
+// MessagesSent returns the total envelopes accepted for sending.
+func (n *TCPNode) MessagesSent() uint64 { return n.sent.Load() }
+
+// BatchesSent returns the number of SendBatch wire writes accepted.
+func (n *TCPNode) BatchesSent() uint64 { return n.batches.Load() }
+
+// BatchedEnvelopes returns the total envelopes delivered via SendBatch.
+// (They are also counted by MessagesSent and MessagesByKind, mirroring
+// MemNet's accounting.)
+func (n *TCPNode) BatchedEnvelopes() uint64 { return n.batchedEnvs.Load() }
+
+// MessagesByKind returns a snapshot of per-kind send counts.
+func (n *TCPNode) MessagesByKind() map[wire.Kind]uint64 {
+	n.byKindMu.Lock()
+	defer n.byKindMu.Unlock()
+	out := make(map[wire.Kind]uint64, len(n.byKind))
+	for k, v := range n.byKind {
+		out[k] = v
+	}
+	return out
+}
+
 // Send implements Endpoint.
 func (n *TCPNode) Send(env Envelope) error {
 	env.From = n.self
-	c, err := n.connOrRoute(env.To)
+	c, err := n.connOrRoute(&env)
 	if err != nil {
 		return err
 	}
+	n.countSend(&env)
 	return c.enqueue(env)
 }
 
@@ -101,10 +185,20 @@ func (n *TCPNode) SendBatch(envs []Envelope) error {
 	for i := range envs {
 		envs[i].From = n.self
 	}
-	c, err := n.connOrRoute(envs[0].To)
+	// The whole batch rides the first envelope's stripe: batches are cast
+	// traffic (replication) and must stay in one FIFO.
+	c, err := n.connOrRoute(&envs[0])
 	if err != nil {
 		return err
 	}
+	n.sent.Add(uint64(len(envs)))
+	n.batches.Add(1)
+	n.batchedEnvs.Add(uint64(len(envs)))
+	n.byKindMu.Lock()
+	for i := range envs {
+		n.byKind[envs[i].Msg.Kind()]++
+	}
+	n.byKindMu.Unlock()
 	buf := wire.GetBuffer()
 	for i := range envs {
 		*buf = appendFrame(*buf, envs[i])
@@ -112,14 +206,14 @@ func (n *TCPNode) SendBatch(envs []Envelope) error {
 	return c.enqueueBuf(buf)
 }
 
-// connOrRoute resolves the connection for a destination, falling back to the
-// reverse route: the destination may have dialed us even though the address
-// book cannot resolve it (clients).
-func (n *TCPNode) connOrRoute(to topology.NodeID) (*tcpConn, error) {
-	c, err := n.conn(to)
+// connOrRoute resolves the connection for an envelope's destination and
+// stripe, falling back to the reverse route: the destination may have dialed
+// us even though the address book cannot resolve it (clients).
+func (n *TCPNode) connOrRoute(env *Envelope) (*tcpConn, error) {
+	c, err := n.conn(env.To, n.stripe(*env))
 	if err != nil {
 		n.mu.Lock()
-		rc, ok := n.routes[to]
+		rc, ok := n.routes[env.To]
 		n.mu.Unlock()
 		if !ok {
 			return nil, err
@@ -138,9 +232,13 @@ func (n *TCPNode) Close() error {
 		return nil
 	}
 	n.closed = true
-	conns := make([]*tcpConn, 0, len(n.conns))
-	for _, c := range n.conns {
-		conns = append(conns, c)
+	conns := make([]*tcpConn, 0, len(n.conns)*n.nstripes)
+	for _, stripes := range n.conns {
+		for _, c := range stripes {
+			if c != nil {
+				conns = append(conns, c)
+			}
+		}
 	}
 	// Inbound connections must be closed explicitly or their read loops
 	// block in ReadFull until the remote side closes — which may itself be
@@ -165,13 +263,14 @@ func (n *TCPNode) Close() error {
 	return nil
 }
 
-func (n *TCPNode) conn(to topology.NodeID) (*tcpConn, error) {
+func (n *TCPNode) conn(to topology.NodeID, stripe int) (*tcpConn, error) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if c, ok := n.conns[to]; ok {
+	if cs, ok := n.conns[to]; ok && cs[stripe] != nil {
+		c := cs[stripe]
 		n.mu.Unlock()
 		return c, nil
 	}
@@ -192,13 +291,19 @@ func (n *TCPNode) conn(to topology.NodeID) (*tcpConn, error) {
 		_ = raw.Close()
 		return nil, ErrClosed
 	}
-	if c, ok := n.conns[to]; ok { // lost the race; reuse the winner
+	cs := n.conns[to]
+	if cs == nil {
+		cs = make([]*tcpConn, n.nstripes)
+		n.conns[to] = cs
+	}
+	if cs[stripe] != nil { // lost the race; reuse the winner
+		c := cs[stripe]
 		n.mu.Unlock()
 		_ = raw.Close()
 		return c, nil
 	}
 	c := newTCPConn(raw)
-	n.conns[to] = c
+	cs[stripe] = c
 	n.wg.Add(2)
 	go func() {
 		defer n.wg.Done()
@@ -253,10 +358,12 @@ func (n *TCPNode) readLoop(raw net.Conn, wc *tcpConn) {
 		if n.routes[from] == wc {
 			delete(n.routes, from)
 		}
-		// Evict a dead outbound connection so future sends redial.
-		for to, c := range n.conns {
-			if c == wc {
-				delete(n.conns, to)
+		// Evict a dead outbound stripe so future sends redial it.
+		for _, stripes := range n.conns {
+			for i, c := range stripes {
+				if c == wc {
+					stripes[i] = nil
+				}
 			}
 		}
 		n.mu.Unlock()

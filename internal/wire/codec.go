@@ -62,6 +62,22 @@ func AppendMessage(buf []byte, msg Message) []byte {
 	case PrepareResp:
 		buf = putU64(buf, uint64(m.TxID))
 		buf = putTS(buf, m.Proposed)
+	case PrepareBatch:
+		buf = putU32(buf, uint32(len(m.Reqs)))
+		for _, p := range m.Reqs {
+			buf = putU64(buf, uint64(p.TxID))
+			buf = putTS(buf, p.Snapshot)
+			buf = putTS(buf, p.HT)
+			buf = putKVs(buf, p.Writes)
+		}
+	case PrepareBatchResp:
+		buf = putU32(buf, uint32(len(m.Resps)))
+		for _, r := range m.Resps {
+			buf = putU64(buf, uint64(r.TxID))
+			buf = putTS(buf, r.Proposed)
+			buf = putU16(buf, r.Code)
+			buf = putString(buf, r.Msg)
+		}
 	case CohortCommit:
 		buf = putU64(buf, uint64(m.TxID))
 		buf = putTS(buf, m.CommitTS)
@@ -142,6 +158,28 @@ func Decode(data []byte) (Message, error) {
 		msg = PrepareReq{TxID: TxID(r.u64()), Snapshot: r.ts(), HT: r.ts(), Writes: r.kvs()}
 	case KindPrepareResp:
 		msg = PrepareResp{TxID: TxID(r.u64()), Proposed: r.ts()}
+	case KindPrepareBatch:
+		pb := PrepareBatch{}
+		if n := r.sliceLen(); n > 0 {
+			pb.Reqs = make([]PrepareReq, 0, n)
+			for i := 0; i < n && r.err == nil; i++ {
+				pb.Reqs = append(pb.Reqs, PrepareReq{
+					TxID: TxID(r.u64()), Snapshot: r.ts(), HT: r.ts(), Writes: r.kvs(),
+				})
+			}
+		}
+		msg = pb
+	case KindPrepareBatchResp:
+		pr := PrepareBatchResp{}
+		if n := r.sliceLen(); n > 0 {
+			pr.Resps = make([]PrepareResult, 0, n)
+			for i := 0; i < n && r.err == nil; i++ {
+				pr.Resps = append(pr.Resps, PrepareResult{
+					TxID: TxID(r.u64()), Proposed: r.ts(), Code: r.u16(), Msg: r.string(),
+				})
+			}
+		}
+		msg = pr
 	case KindCohortCommit:
 		msg = CohortCommit{TxID: TxID(r.u64()), CommitTS: r.ts()}
 	case KindAbortTx:

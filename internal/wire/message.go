@@ -132,33 +132,42 @@ const (
 	KindTxStatusReq
 	// KindTxStatusResp answers with the decision (or its absence).
 	KindTxStatusResp
+	// KindPrepareBatch coalesces several concurrent 2PC prepares from one
+	// coordinator to one cohort into a single wire message (group commit for
+	// the prepare fan-out, amortizing per-message framing like
+	// KindReplicateBatch does for replication).
+	KindPrepareBatch
+	// KindPrepareBatchResp answers every prepare of a batch in one message.
+	KindPrepareBatchResp
 )
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
 	names := [...]string{
-		KindStartTxReq:     "StartTxReq",
-		KindStartTxResp:    "StartTxResp",
-		KindReadReq:        "ReadReq",
-		KindReadResp:       "ReadResp",
-		KindCommitReq:      "CommitReq",
-		KindCommitResp:     "CommitResp",
-		KindFinishTx:       "FinishTx",
-		KindReadSliceReq:   "ReadSliceReq",
-		KindReadSliceResp:  "ReadSliceResp",
-		KindPrepareReq:     "PrepareReq",
-		KindPrepareResp:    "PrepareResp",
-		KindCohortCommit:   "CohortCommit",
-		KindReplicate:      "Replicate",
-		KindHeartbeat:      "Heartbeat",
-		KindGSTUp:          "GSTUp",
-		KindGSTRoot:        "GSTRoot",
-		KindUSTDown:        "USTDown",
-		KindError:          "Error",
-		KindReplicateBatch: "ReplicateBatch",
-		KindAbortTx:        "AbortTx",
-		KindTxStatusReq:    "TxStatusReq",
-		KindTxStatusResp:   "TxStatusResp",
+		KindStartTxReq:       "StartTxReq",
+		KindStartTxResp:      "StartTxResp",
+		KindReadReq:          "ReadReq",
+		KindReadResp:         "ReadResp",
+		KindCommitReq:        "CommitReq",
+		KindCommitResp:       "CommitResp",
+		KindFinishTx:         "FinishTx",
+		KindReadSliceReq:     "ReadSliceReq",
+		KindReadSliceResp:    "ReadSliceResp",
+		KindPrepareReq:       "PrepareReq",
+		KindPrepareResp:      "PrepareResp",
+		KindCohortCommit:     "CohortCommit",
+		KindReplicate:        "Replicate",
+		KindHeartbeat:        "Heartbeat",
+		KindGSTUp:            "GSTUp",
+		KindGSTRoot:          "GSTRoot",
+		KindUSTDown:          "USTDown",
+		KindError:            "Error",
+		KindReplicateBatch:   "ReplicateBatch",
+		KindAbortTx:          "AbortTx",
+		KindTxStatusReq:      "TxStatusReq",
+		KindTxStatusResp:     "TxStatusResp",
+		KindPrepareBatch:     "PrepareBatch",
+		KindPrepareBatchResp: "PrepareBatchResp",
 	}
 	if int(k) < len(names) && names[k] != "" {
 		return names[k]
@@ -275,6 +284,41 @@ type PrepareResp struct {
 
 // Kind implements Message.
 func (PrepareResp) Kind() Kind { return KindPrepareResp }
+
+// PrepareBatch carries several independent 2PC prepares from one coordinator
+// to one cohort in a single wire message. The cohort processes each request
+// exactly as it would a standalone PrepareReq and answers all of them with
+// one PrepareBatchResp in the same order. Coordinators coalesce prepares
+// adaptively: while a batch to a cohort is in flight, newly arriving
+// prepares for the same cohort queue up and ship together when the response
+// frees the link — group commit with no timer and no added latency for an
+// uncontended prepare.
+type PrepareBatch struct {
+	Reqs []PrepareReq
+}
+
+// Kind implements Message.
+func (PrepareBatch) Kind() Kind { return KindPrepareBatch }
+
+// PrepareResult is one transaction's outcome inside a PrepareBatchResp.
+// Code == 0 means the prepare was accepted and Proposed carries the cohort's
+// proposal; a non-zero Code carries the refusal (the same codes an ErrorResp
+// would use for a standalone prepare).
+type PrepareResult struct {
+	TxID     TxID
+	Proposed hlc.Timestamp
+	Code     uint16
+	Msg      string
+}
+
+// PrepareBatchResp answers a PrepareBatch, one result per carried request,
+// in request order.
+type PrepareBatchResp struct {
+	Resps []PrepareResult
+}
+
+// Kind implements Message.
+func (PrepareBatchResp) Kind() Kind { return KindPrepareBatchResp }
 
 // CohortCommit finalizes a prepared transaction at the chosen commit time.
 // It needs no reply: the coordinator answers the client as soon as all
@@ -495,6 +539,8 @@ var (
 	_ Message = ReadSliceResp{}
 	_ Message = PrepareReq{}
 	_ Message = PrepareResp{}
+	_ Message = PrepareBatch{}
+	_ Message = PrepareBatchResp{}
 	_ Message = CohortCommit{}
 	_ Message = AbortTx{}
 	_ Message = TxStatusReq{}
