@@ -8,6 +8,7 @@
 //
 //	paris-bench -experiment fig1a            # Fig. 1a (95:5)
 //	paris-bench -experiment batching         # batched vs unbatched replication
+//	paris-bench -experiment nemesis -seed 7  # fault-scenario sweep, checked live
 //	paris-bench -experiment all -quick       # everything, fast settings
 //	paris-bench -list
 //
@@ -25,7 +26,9 @@ import (
 	"strings"
 	"time"
 
+	"github.com/paris-kv/paris"
 	"github.com/paris-kv/paris/internal/bench"
+	"github.com/paris-kv/paris/internal/nemesis"
 	"github.com/paris-kv/paris/internal/workload"
 )
 
@@ -43,8 +46,19 @@ var experiments = []struct {
 	{"fig4", "update visibility latency CDF, PaRiS vs BPR (Fig. 4)", runFig4},
 	{"batching", "replication messages/op, batched vs unbatched pipeline", runBatching},
 	{"hotpath", "client-operation hot path: scaling with parallelism (memnet + tcp), allocs/op", runHotpath},
+	{"nemesis", "composed-fault scenario sweep with live consistency checking", runNemesis},
 	{"table1", "taxonomy of causally consistent systems (Table I)", runTable1},
 }
+
+// Nemesis knobs live at package scope because experiment runners only
+// receive bench.Options. The default seed matches the pinned regression
+// seed in the TestNemesis_* suite, so `-experiment nemesis` with no flags
+// replays exactly the schedules those tests pin.
+var (
+	nemSeed     = flag.Int64("seed", 7, "nemesis: fault-schedule seed (same seed replays the same schedule)")
+	nemScenario = flag.String("scenario", "", "nemesis: run only the named scenario (default: all)")
+	nemBPR      = flag.Bool("bpr", false, "nemesis: run scenarios against the blocking BPR baseline")
+)
 
 func main() {
 	var (
@@ -295,6 +309,70 @@ func runHotpath(o bench.Options) (*bench.Report, error) {
 		return nil, err
 	}
 	return cmp.Report("hotpath"), nil
+}
+
+// runNemesis sweeps the nemesis scenario suite at the configured seed: each
+// scenario composes network/clock/crash faults over a running production-
+// shaped workload while internal/check validates the recorded history live.
+// Any violation or failed drain fails the experiment. -duration (or -quick)
+// shortens the fault phase; -seed N replays a specific schedule; -scenario
+// narrows the sweep to one scenario.
+func runNemesis(o bench.Options) (*bench.Report, error) {
+	names := nemesis.Names()
+	if *nemScenario != "" {
+		if _, ok := nemesis.Lookup(*nemScenario); !ok {
+			return nil, fmt.Errorf("unknown scenario %q (have %v)", *nemScenario, nemesis.Names())
+		}
+		names = []string{*nemScenario}
+	}
+	mode := paris.ModeNonBlocking
+	if *nemBPR {
+		mode = paris.ModeBlocking
+	}
+	rep := &bench.Report{
+		Name:    "nemesis",
+		Desc:    "composed-fault scenario sweep with live consistency checking",
+		Summary: map[string]float64{},
+	}
+	var failedScenarios []string
+	var violations, committed, migrations uint64
+	for _, name := range names {
+		res, err := nemesis.Run(nemesis.Options{
+			Scenario: name,
+			Seed:     *nemSeed,
+			Mode:     mode,
+			// o.Duration is zero unless -duration/-quick was given; zero keeps
+			// the nemesis default fault phase (1.2s).
+			FaultPhase: o.Duration,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println(res)
+		if !res.Ok() {
+			failedScenarios = append(failedScenarios, name)
+			for _, ev := range res.Events {
+				fmt.Println("    ", ev)
+			}
+		}
+		rep.Rows = append(rep.Rows, bench.ReportRow{
+			Label:    name,
+			Ops:      res.Committed,
+			TxPerSec: float64(res.Committed) / res.Elapsed.Seconds(),
+		})
+		violations += uint64(len(res.Violations))
+		committed += res.Committed
+		migrations += res.Migrations
+	}
+	rep.Summary["scenarios"] = float64(len(names))
+	rep.Summary["committed"] = float64(committed)
+	rep.Summary["migrations"] = float64(migrations)
+	rep.Summary["violations"] = float64(violations)
+	if len(failedScenarios) > 0 {
+		return rep, fmt.Errorf("%d scenario(s) failed: %s (reproduce with -experiment nemesis -seed %d -scenario <name>)",
+			len(failedScenarios), strings.Join(failedScenarios, ", "), *nemSeed)
+	}
+	return rep, nil
 }
 
 func printCDF(cdf []bench.CDFPoint) {

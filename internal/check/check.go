@@ -251,27 +251,35 @@ func (h *History) checkCausality() []Violation {
 // causalPasts returns, for every write transaction, the set of write
 // transactions in its causal past (excluding itself).
 func (h *History) causalPasts(writers map[wire.TxID]Tx) map[wire.TxID]map[wire.TxID]bool {
-	// Direct dependencies: per session order and read-from.
+	// Direct dependencies: per session order and read-from. Session order is
+	// transitive, so a write's direct deps are just the session's previous
+	// write (whose own deps cover everything earlier) plus the distinct
+	// writers observed since it — keeping the dep lists short. The naive
+	// encoding (every prior write and every observation, duplicates and all)
+	// made closure construction effectively cubic and a few thousand
+	// transactions took minutes to validate, which starved the nemesis live
+	// checker.
 	direct := make(map[wire.TxID][]wire.TxID)
 	for _, txs := range h.bySession() {
-		var (
-			prevWrites []wire.TxID
-			observed   []wire.TxID
-		)
+		var prevWrite wire.TxID
+		observed := make(map[wire.TxID]bool)
 		for _, tx := range txs {
 			for _, r := range tx.Reads {
 				if r.Found && r.Writer != 0 {
-					observed = append(observed, r.Writer)
+					observed[r.Writer] = true
 				}
 			}
 			if tx.ID != 0 && len(tx.Writes) > 0 {
-				// This write depends on everything the session wrote or
-				// observed before it.
-				deps := make([]wire.TxID, 0, len(prevWrites)+len(observed))
-				deps = append(deps, prevWrites...)
-				deps = append(deps, observed...)
+				deps := make([]wire.TxID, 0, len(observed)+1)
+				if prevWrite != 0 {
+					deps = append(deps, prevWrite)
+				}
+				for id := range observed {
+					deps = append(deps, id)
+				}
 				direct[tx.ID] = deps
-				prevWrites = append(prevWrites, tx.ID)
+				prevWrite = tx.ID
+				observed = make(map[wire.TxID]bool)
 			}
 		}
 	}

@@ -165,6 +165,63 @@ func (c *Client) Stats() Stats { return c.stats }
 // Close releases transport resources.
 func (c *Client) Close() { c.peer.Close() }
 
+// Handoff is a session's portable causal state: the highest stable snapshot
+// it observed (ustc), the commit timestamp of its last update transaction
+// (hwtc), and the private write cache — its own writes not yet inside the
+// stable snapshot. Exporting a Handoff from a session in one data center and
+// importing it into a fresh client in another migrates the session: the
+// target coordinator folds the carried UST into its own, the cache keeps
+// serving the session's recent writes until the UST passes them, and both
+// read-your-writes and causal ordering survive the move (§II-C's session
+// guarantees are properties of this state, not of the original connection).
+type Handoff struct {
+	UST   hlc.Timestamp
+	HWT   hlc.Timestamp
+	Cache []wire.Item
+}
+
+// Export captures the session's causal state for migration. It refuses
+// mid-transaction: the write-set and read-set are bound to a coordinator-side
+// context that cannot move with the client.
+func (c *Client) Export() (Handoff, error) {
+	if c.inTx {
+		return Handoff{}, ErrInTransaction
+	}
+	h := Handoff{UST: c.ust, HWT: c.hwt}
+	if len(c.cache) > 0 {
+		h.Cache = make([]wire.Item, 0, len(c.cache))
+		for _, item := range c.cache {
+			h.Cache = append(h.Cache, item)
+		}
+	}
+	return h, nil
+}
+
+// Import folds a migrated session's causal state into this client. Timestamps
+// only ever advance and cached versions merge by the store's version order,
+// so importing into a session with history of its own is safe (the union of
+// two causal pasts is a causal past).
+func (c *Client) Import(h Handoff) error {
+	if c.inTx {
+		return ErrInTransaction
+	}
+	if h.UST > c.ust {
+		c.ust = h.UST
+	}
+	if h.HWT > c.hwt {
+		c.hwt = h.HWT
+	}
+	for _, item := range h.Cache {
+		if cur, ok := c.cache[item.Key]; !ok || cur.Less(item) {
+			c.cache[item.Key] = item
+		}
+	}
+	if len(c.cache) > c.stats.CachePeak {
+		c.stats.CachePeak = len(c.cache)
+	}
+	return nil
+}
+
 // Start begins a transaction (Alg. 1 lines 1–7): it sends the session's
 // highest observed stable time so the coordinator assigns a snapshot at
 // least that fresh, then prunes the write cache of entries the new snapshot

@@ -8,6 +8,7 @@ package clock
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,11 +28,12 @@ func (System) NowMillis() uint64 {
 }
 
 // Skewed wraps a Source and offsets it by a fixed skew plus a linear drift,
-// emulating an imperfectly NTP-synchronized server clock.
+// emulating an imperfectly NTP-synchronized server clock. The skew can be
+// re-drawn at runtime (SetSkew) to model an NTP step while the server runs.
 type Skewed struct {
-	base  Source
-	skew  time.Duration
-	drift float64 // fractional rate error, e.g. 1e-5 = 10 ppm
+	base   Source
+	skewMs atomic.Int64
+	drift  float64 // fractional rate error, e.g. 1e-5 = 10 ppm
 
 	mu     sync.Mutex
 	origin uint64 // base time at construction, anchor for drift
@@ -41,7 +43,9 @@ type Skewed struct {
 // the given fractional rate (positive drift runs fast). A zero skew and drift
 // behaves identically to base.
 func NewSkewed(base Source, skew time.Duration, drift float64) *Skewed {
-	return &Skewed{base: base, skew: skew, drift: drift, origin: base.NowMillis()}
+	s := &Skewed{base: base, drift: drift, origin: base.NowMillis()}
+	s.skewMs.Store(skew.Milliseconds())
+	return s
 }
 
 // NowMillis implements Source.
@@ -51,11 +55,22 @@ func (s *Skewed) NowMillis() uint64 {
 	origin := s.origin
 	s.mu.Unlock()
 	elapsed := float64(now - origin)
-	shifted := int64(now) + s.skew.Milliseconds() + int64(elapsed*s.drift)
+	shifted := int64(now) + s.skewMs.Load() + int64(elapsed*s.drift)
 	if shifted < 0 {
 		return 0
 	}
 	return uint64(shifted)
+}
+
+// SetSkew replaces the fixed offset, modelling an abrupt NTP step. Safe to
+// call while other goroutines read the clock.
+func (s *Skewed) SetSkew(skew time.Duration) {
+	s.skewMs.Store(skew.Milliseconds())
+}
+
+// Skew returns the current fixed offset.
+func (s *Skewed) Skew() time.Duration {
+	return time.Duration(s.skewMs.Load()) * time.Millisecond
 }
 
 // Manual is a hand-advanced clock for deterministic tests. The zero value

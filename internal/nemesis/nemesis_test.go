@@ -1,0 +1,101 @@
+package nemesis
+
+import (
+	"testing"
+	"time"
+
+	"github.com/paris-kv/paris"
+)
+
+// runScenario executes one named scenario and fails the test on any checker
+// violation or a cluster that cannot drain after healing. Each TestNemesis_*
+// below pins one composed-fault schedule that once surfaced (or guards
+// against) a failure-path bug; reproduce outside the test suite with
+// `paris-bench -experiment nemesis -seed 7`.
+func runScenario(t *testing.T, name string, mode paris.Mode) {
+	t.Helper()
+	opts := Options{
+		Scenario:   name,
+		Seed:       7,
+		Mode:       mode,
+		FaultPhase: 1200 * time.Millisecond,
+		Logf:       t.Logf,
+	}
+	if testing.Short() {
+		opts.FaultPhase = 400 * time.Millisecond
+	}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	t.Logf("%s", res)
+	for i, v := range res.Violations {
+		if i == 20 {
+			t.Errorf("... %d further violations suppressed", len(res.Violations)-20)
+			break
+		}
+		t.Errorf("violation: %s", v)
+	}
+	if !res.Drained {
+		t.Errorf("cluster failed to drain after healing")
+	}
+	if res.Committed == 0 {
+		t.Errorf("no transactions committed — the workload never made progress")
+	}
+}
+
+func TestNemesis_PartitionBlackhole(t *testing.T) {
+	runScenario(t, "partition_blackhole", paris.ModeNonBlocking)
+}
+
+func TestNemesis_AsymmetricLinks(t *testing.T) {
+	runScenario(t, "asymmetric_links", paris.ModeNonBlocking)
+}
+
+func TestNemesis_CrashRestart(t *testing.T) {
+	runScenario(t, "crash_restart", paris.ModeNonBlocking)
+}
+
+func TestNemesis_ClockSkewPartition(t *testing.T) {
+	runScenario(t, "clock_skew_partition", paris.ModeNonBlocking)
+}
+
+func TestNemesis_MigrationStorm(t *testing.T) {
+	runScenario(t, "migration_storm", paris.ModeNonBlocking)
+}
+
+func TestNemesis_FlappingLinksLargeValues(t *testing.T) {
+	runScenario(t, "flapping_links_large_values", paris.ModeNonBlocking)
+}
+
+// TestNemesis_CrashRestartBPR runs the crash/restart composition against the
+// blocking baseline: BPR's fresher snapshots make lost-commit recovery the
+// sharpest read-your-writes hazard.
+func TestNemesis_CrashRestartBPR(t *testing.T) {
+	runScenario(t, "crash_restart", paris.ModeBlocking)
+}
+
+// TestNemesis_MigrationStormBPR exercises session handoff without the client
+// cache: in BPR mode read-your-writes rides entirely on the carried ust.
+func TestNemesis_MigrationStormBPR(t *testing.T) {
+	runScenario(t, "migration_storm", paris.ModeBlocking)
+}
+
+func TestScenarioTableWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Scenarios() {
+		if s.Name == "" || s.Info == "" || s.Script == nil {
+			t.Errorf("scenario %+v missing name, info, or script", s.Name)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if _, ok := Lookup(s.Name); !ok {
+			t.Errorf("Lookup(%q) failed", s.Name)
+		}
+	}
+	if len(Scenarios()) < 6 {
+		t.Errorf("want at least 6 scenarios, have %d", len(Scenarios()))
+	}
+}

@@ -34,6 +34,16 @@ import (
 // Prepared to Committed between the two passes carry ct > ub by the same
 // argument, so the drain misses nothing the published ub covers.
 func (s *Server) applyTick() {
+	// Post-restart recovery hold: a freshly restarted server idles its whole
+	// apply plane — no store apply, no version-clock advance, no replication,
+	// no heartbeat — until the hold expires. Committed transactions (normal
+	// and CommitRecover-recovered alike) queue up meanwhile; to every peer
+	// the server is merely slow, the UST stays frozen below any commit that
+	// may have been lost in the crash window, and the first round after the
+	// hold drains everything in one correctly-bounded batch.
+	if !s.holdUntil.IsZero() && time.Now().Before(s.holdUntil) {
+		return
+	}
 	// ub0 ← max{Clock, HLC}, advanced as a local event so that any prepare
 	// not seen by the scan below proposes strictly above it. MUST precede
 	// the minPrepared scan.
@@ -97,8 +107,19 @@ func (s *Server) applyTick() {
 		// destination — one wire write per peer per ΔR instead of one per
 		// commit timestamp.
 		chunks := buildReplicateBatches(s.self.DC, ready, ub, s.cfg.BatchMaxItems, s.cfg.BatchMaxBytes)
+		out := make([]wire.Message, len(chunks))
 		for _, peer := range peers {
-			_ = s.peer.CastBatch(peer, chunks)
+			// Answer any pending repair request from this peer's DC first:
+			// the response names the sequence the stream resumes at, and on
+			// the FIFO link it precedes the chunk carrying that sequence.
+			s.maybeReplSync(peer, ub)
+			for i, c := range chunks {
+				b := c.(wire.ReplicateBatch)
+				s.replSeq[peer]++
+				b.Epoch, b.Seq = s.replEpoch, s.replSeq[peer]
+				out[i] = b
+			}
+			_ = s.peer.CastBatch(peer, out)
 		}
 		if len(ready) > 0 {
 			s.metrics.txApplied.Add(uint64(len(ready)))
@@ -241,6 +262,12 @@ func (s *Server) handleReplicate(m wire.Replicate) {
 // tail of the round. Applying before advancing preserves the invariant that
 // a reader who observes the vector entry finds every covered version.
 func (s *Server) handleReplicateBatch(m wire.ReplicateBatch) {
+	// Sequenced delivery: an out-of-order chunk is evidence of loss (or a
+	// sender restart) and must not advance the version vector — see
+	// replsync.go. replInAccept drops it and arranges a store-backed repair.
+	if !s.replInAccept(m) {
+		return
+	}
 	if n := m.Items(); n > 0 {
 		items := make([]wire.Item, 0, n)
 		for _, g := range m.Groups {

@@ -231,6 +231,59 @@ func (s *Server) handleCohortCommit(m wire.CohortCommit) {
 	})
 }
 
+// handleCommitRecover is the acknowledged fallback for a commit decision
+// whose CohortCommit cast failed. Three cases, all under the id's shard lock:
+//
+//   - the prepared entry is still here → promote it exactly as a CohortCommit
+//     would (the carried writes are ignored; the prepared ones are canonical);
+//   - no entry but the id is tombstoned or already recovered → answer with the
+//     recorded fate, installing nothing twice;
+//   - neither (this cohort restarted since preparing without its 2PC log —
+//     embedded-cluster restarts replay it via Config.Recovered2PC, but a
+//     bare server.Config user may restart without one) → install the
+//     carried writes directly, provided the
+//     version clock has not yet published past the commit timestamp. During a
+//     restart's recovery hold the clock is frozen below every possibly-lost
+//     commit, so the install lands before any reader could have taken a
+//     snapshot covering it; past the hold the install would plant a version
+//     inside already-served snapshots and is refused instead (the same
+//     availability-over-atomicity line the reaper's hard deadline draws).
+func (s *Server) handleCommitRecover(m wire.CommitRecover) wire.Message {
+	committed := wire.TxStatusResp{TxID: m.TxID, Status: wire.TxStatusCommitted, CommitTS: m.CommitTS}
+	aborted := wire.TxStatusResp{TxID: m.TxID, Status: wire.TxStatusAborted}
+
+	sh := s.twoPC.shard(m.TxID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	s.clock.Observe(m.CommitTS)
+	if _, ok := sh.done[m.TxID]; ok {
+		return committed // an earlier recovery attempt already landed
+	}
+	if _, dead := sh.aborted[m.TxID]; dead {
+		s.metrics.commitsRejected.Add(1)
+		return aborted
+	}
+	if p, ok := sh.removePreparedLocked(m.TxID); ok {
+		sh.pushCommittedLocked(committedTx{
+			id: p.id, ct: m.CommitTS, srcDC: p.srcDC, writes: p.writes,
+		})
+		sh.done[m.TxID] = time.Now()
+		s.metrics.commitsRecovered.Add(1)
+		return committed
+	}
+	if s.vv[s.self.DC].Load() >= m.CommitTS {
+		s.metrics.commitsRejected.Add(1)
+		return aborted
+	}
+	sh.pushCommittedLocked(committedTx{
+		id: m.TxID, ct: m.CommitTS, srcDC: s.self.DC, writes: dedupWrites(m.Writes),
+	})
+	sh.done[m.TxID] = time.Now()
+	s.metrics.commitsRecovered.Add(1)
+	return committed
+}
+
 // handleAbortTx releases a prepared transaction whose coordinator gave up on
 // the two-phase commit (a cohort failed to prepare). The id is tombstoned
 // whether or not a prepared entry exists: the abort may overtake a prepare

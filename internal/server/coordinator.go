@@ -331,6 +331,12 @@ func (s *Server) readSliceFrom(target topology.NodeID, req wire.ReadSliceReq) ([
 		}
 		return s.readLocal(req.Keys, req.Snapshot), nil
 	}
+	// The wire gets a private copy of the key list: transports deliver
+	// messages zero-copy in-process, and a timed-out call abandons the
+	// request while the replica may still hold it (queued behind a healing
+	// partition, or blocked in BPR's installation wait) — whereas the pooled
+	// readFanout recycles the backing array the moment the fan-out returns.
+	req.Keys = append([]string(nil), req.Keys...)
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
 	defer cancel()
 	resp, err := s.peer.Call(ctx, target, req)
@@ -365,6 +371,11 @@ type prepareOutcome struct {
 	// ones even on success.
 	tried []topology.NodeID
 	err   error
+	// writes is the partition's slice of the write-set, retained so a failed
+	// CohortCommit cast can fall back to an acknowledged CommitRecover call
+	// that re-delivers the decision together with the data — the only copy a
+	// cohort that crashed and restarted since preparing still needs.
+	writes []wire.KV
 }
 
 // handleCommit implements Alg. 2 lines 17–29: the two-phase commit. The
@@ -411,6 +422,7 @@ func (s *Server) handleCommit(req wire.CommitReq) wire.Message {
 	i := 0
 	for p, kvs := range byPartition {
 		wg.Add(1)
+		outcomes[i].writes = kvs
 		go func(out *prepareOutcome, p topology.PartitionID, kvs []wire.KV) {
 			defer wg.Done()
 			s.preparePartition(out, wire.PrepareReq{
@@ -461,10 +473,16 @@ func (s *Server) handleCommit(req wire.CommitReq) wire.Message {
 		cc := wire.CohortCommit{TxID: req.TxID, CommitTS: commitTS}
 		if out.acked == s.self {
 			s.handleCohortCommit(cc)
-		} else {
-			// Lossless FIFO links: the cast arrives after the cohort's
-			// prepare insert, which happened before its PrepareResp.
-			_ = s.peer.Cast(out.acked, cc)
+		} else if err := s.peer.Cast(out.acked, cc); err != nil {
+			// Lossless FIFO links: when the cast is accepted it arrives after
+			// the cohort's prepare insert, which happened before its
+			// PrepareResp. When it is refused — the cohort crashed or its link
+			// errored in the window since the prepare — the decision exists
+			// only here, so hand it to an acknowledged retry loop; dropping it
+			// would silently lose this partition's slice of the transaction.
+			node, writes := out.acked, out.writes
+			s.metrics.confirmStarted.Add(1)
+			s.spawn(func() { s.confirmCommit(node, req.TxID, commitTS, writes) })
 		}
 	}
 	s.castAbort(req.TxID, outcomes, true) // release non-acked attempts only
@@ -559,6 +577,57 @@ func (s *Server) prepareOn(out *prepareOutcome, prep wire.PrepareReq, node topol
 	}
 	out.err = err
 	return !retryableOnReplica(err)
+}
+
+// confirmCommit re-delivers a commit decision whose CohortCommit cast was
+// refused, as an acknowledged CommitRecover call retried with backoff. The
+// loop runs until the cohort answers with a definitive fate, the server
+// stops, or the abort-retention budget — the horizon past which the cohort's
+// reaper may have acted and the decision memory is pruned — expires. The
+// carried writes let even a cohort that crashed and restarted since preparing
+// install the transaction.
+func (s *Server) confirmCommit(node topology.NodeID, id wire.TxID, ct hlc.Timestamp, writes []wire.KV) {
+	deadline := time.Now().Add(s.cfg.abortedRetention())
+	backoff := s.cfg.ApplyInterval
+	if backoff < time.Millisecond {
+		backoff = time.Millisecond
+	}
+	msg := wire.CommitRecover{TxID: id, CommitTS: ct, Writes: writes}
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case <-time.After(backoff):
+		}
+		cctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
+		watch := make(chan struct{})
+		go func() { // release the call promptly if the server stops mid-retry
+			select {
+			case <-s.stopped:
+				cancel()
+			case <-watch:
+			}
+		}()
+		resp, err := s.peer.Call(cctx, node, msg)
+		close(watch)
+		cancel()
+		if err == nil {
+			if st, ok := resp.(wire.TxStatusResp); ok && st.Status != wire.TxStatusPending {
+				// Committed: the slice landed (or already had). Aborted: the
+				// cohort reaped the id past its hard deadline while we were
+				// unreachable — re-installing is no longer safe, give up.
+				s.metrics.confirmDelivered.Add(1)
+				return
+			}
+		}
+		if s.isStopped() || time.Now().After(deadline) {
+			return
+		}
+		backoff *= 2
+		if backoff > 100*time.Millisecond {
+			backoff = 100 * time.Millisecond
+		}
+	}
 }
 
 // castAbort sends AbortTx for tx to every replica listed in the outcomes'

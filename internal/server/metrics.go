@@ -28,6 +28,11 @@ type Metrics struct {
 	prepareFailovers atomic.Uint64
 	prepBatches      atomic.Uint64
 	prepBatched      atomic.Uint64
+	confirmStarted   atomic.Uint64
+	confirmDelivered atomic.Uint64
+	replSyncReq      atomic.Uint64
+	replSyncServed   atomic.Uint64
+	replSyncApplied  atomic.Uint64
 
 	blockMu    sync.Mutex
 	blockCount uint64
@@ -73,6 +78,13 @@ type MetricsSnapshot struct {
 
 	PrepareBatches     uint64 // coalesced PrepareBatch messages sent (coordinator role)
 	PrepareBatchedReqs uint64 // prepares that travelled inside those batches
+
+	CommitConfirms  uint64 // CommitRecover retry loops started after a failed commit cast
+	CommitConfirmed uint64 // retry loops that reached a definitive cohort answer
+
+	ReplSyncRequested uint64 // repair requests cast after replication-stream loss
+	ReplSyncServed    uint64 // store-backed repair responses served (sender role)
+	ReplSyncApplied   uint64 // repair responses installed (receiver role)
 }
 
 // Metrics returns a snapshot of the server's counters.
@@ -105,5 +117,12 @@ func (s *Server) Metrics() MetricsSnapshot {
 
 		PrepareBatches:     s.metrics.prepBatches.Load(),
 		PrepareBatchedReqs: s.metrics.prepBatched.Load(),
+
+		CommitConfirms:  s.metrics.confirmStarted.Load(),
+		CommitConfirmed: s.metrics.confirmDelivered.Load(),
+
+		ReplSyncRequested: s.metrics.replSyncReq.Load(),
+		ReplSyncServed:    s.metrics.replSyncServed.Load(),
+		ReplSyncApplied:   s.metrics.replSyncApplied.Load(),
 	}
 }

@@ -22,9 +22,14 @@ import (
 type prepareBatcher struct {
 	s *Server
 
-	mu    sync.Mutex
-	dests map[topology.NodeID]*prepareDest
+	mu       sync.Mutex
+	dests    map[topology.NodeID]*prepareDest
+	stopping bool
 }
+
+// ErrServerStopped reports a prepare abandoned because its server shut down
+// while the request was queued or waiting in the group-commit coalescer.
+var ErrServerStopped = errors.New("server: stopped while preparing")
 
 // prepareDest is one cohort's outbound queue.
 type prepareDest struct {
@@ -63,6 +68,10 @@ func (b *prepareBatcher) call(node topology.NodeID, req wire.PrepareReq) (wire.M
 	}
 	pp := &pendingPrepare{req: req, done: make(chan prepareReply, 1)}
 	b.mu.Lock()
+	if b.stopping {
+		b.mu.Unlock()
+		return nil, ErrServerStopped
+	}
 	d := b.dests[node]
 	if d == nil {
 		d = &prepareDest{}
@@ -81,7 +90,27 @@ func (b *prepareBatcher) call(node topology.NodeID, req wire.PrepareReq) (wire.M
 	case r := <-pp.done:
 		return r.resp, r.err
 	case <-s.stopped:
-		return nil, errors.New("server: stopped while preparing")
+		return nil, ErrServerStopped
+	}
+}
+
+// shutdown fails every queued prepare with ErrServerStopped and refuses new
+// entries. Without the explicit drain, a pendingPrepare sitting in a
+// destination queue when the server stops would depend on its caller
+// selecting on s.stopped to ever be released — deterministically failing the
+// queue keeps no waiter's fate implicit. Entries a pump already popped into
+// an in-flight batch are answered by that batch's send as usual.
+func (b *prepareBatcher) shutdown() {
+	b.mu.Lock()
+	b.stopping = true
+	var drained []*pendingPrepare
+	for _, d := range b.dests {
+		drained = append(drained, d.queue...)
+		d.queue = nil
+	}
+	b.mu.Unlock()
+	for _, pp := range drained {
+		pp.done <- prepareReply{err: ErrServerStopped} // buffered; never blocks
 	}
 }
 
@@ -129,16 +158,17 @@ func (b *prepareBatcher) send(node topology.NodeID, batch []*pendingPrepare) {
 		reqs[i] = pp.req
 	}
 	resp, err := s.peer.Call(cctx, node, wire.PrepareBatch{Reqs: reqs})
-	if err == nil {
-		s.metrics.prepBatches.Add(1)
-		s.metrics.prepBatched.Add(uint64(len(batch)))
-	}
 	switch m := resp.(type) {
 	case wire.PrepareBatchResp:
 		if len(m.Resps) != len(batch) {
 			err = fmt.Errorf("server: prepare batch answered %d of %d prepares", len(m.Resps), len(batch))
 			break
 		}
+		// Count the batch only now: a transport success whose response is
+		// short, mismatched, or of an unexpected kind is a failed batch, and
+		// counting it before this validation overstated the group-commit rate.
+		s.metrics.prepBatches.Add(1)
+		s.metrics.prepBatched.Add(uint64(len(batch)))
 		for i, r := range m.Resps {
 			var one wire.Message
 			if r.Code == 0 {

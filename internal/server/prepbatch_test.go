@@ -156,3 +156,150 @@ func TestPrepareBatcherDisabled(t *testing.T) {
 		t.Fatalf("batch metrics moved with batching disabled: %+v", m)
 	}
 }
+
+// shortBatchCohort answers every PrepareBatch with a single-entry response
+// regardless of how many prepares the batch carried — the malformed-peer
+// shape the batcher must treat as a failed batch.
+type shortBatchCohort struct{}
+
+func (shortBatchCohort) HandleRequest(_ topology.NodeID, req wire.Message, reply func(wire.Message)) {
+	if b, ok := req.(wire.PrepareBatch); ok {
+		reply(wire.PrepareBatchResp{Resps: []wire.PrepareResult{
+			{TxID: b.Reqs[0].TxID, Proposed: b.Reqs[0].HT},
+		}})
+	}
+}
+
+func (shortBatchCohort) HandleCast(topology.NodeID, wire.Message) {}
+
+// TestPrepareBatcherShortResponseNotCounted pins the metrics-after-validation
+// contract: a transport-successful batch call whose response answers fewer
+// prepares than were sent must fail every entry and must NOT move the
+// group-commit counters — counting before validation overstated the batch
+// rate exactly when a peer misbehaved.
+func TestPrepareBatcherShortResponseNotCounted(t *testing.T) {
+	topo, err := topology.New(3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewMemNet(nil)
+	defer func() { _ = net.Close() }()
+
+	coord, err := New(Config{ID: topology.ServerID(0, 0), Topology: topo,
+		Mode: ModeNonBlocking, Clock: clock.NewManual(1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := net.Register(coord.self, coord.Peer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Peer().Attach(ep)
+	t.Cleanup(coord.Stop)
+
+	cohortID := topology.ServerID(1, 1)
+	cohortPeer := transport.NewPeer(cohortID, shortBatchCohort{})
+	cep, err := net.Register(cohortID, cohortPeer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cohortPeer.Attach(cep)
+
+	batch := make([]*pendingPrepare, 3)
+	for i := range batch {
+		batch[i] = &pendingPrepare{
+			req: wire.PrepareReq{
+				TxID: wire.NewTxID(0, 0, uint64(i+1)), HT: coord.clock.Now(),
+			},
+			done: make(chan prepareReply, 1),
+		}
+	}
+	coord.prepBatch.send(cohortID, batch)
+
+	for i, pp := range batch {
+		r := <-pp.done
+		if r.err == nil {
+			t.Fatalf("entry %d of a short-answered batch succeeded: %#v", i, r.resp)
+		}
+	}
+	if m := coord.Metrics(); m.PrepareBatches != 0 || m.PrepareBatchedReqs != 0 {
+		t.Fatalf("short response counted as a successful batch: batches=%d reqs=%d",
+			m.PrepareBatches, m.PrepareBatchedReqs)
+	}
+}
+
+// TestPrepareBatcherStopReleasesQueuedWaiters pins the shutdown drain: when
+// the server stops while a prepare call is in flight and more prepares sit
+// queued behind it, every waiter is promptly released with ErrServerStopped
+// instead of hanging until its caller's timeout (or forever).
+func TestPrepareBatcherStopReleasesQueuedWaiters(t *testing.T) {
+	topo, err := topology.New(3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewMemNet(nil)
+	defer func() { _ = net.Close() }()
+
+	newServer := func(id topology.NodeID) *Server {
+		srv, err := New(Config{ID: id, Topology: topo, Mode: ModeNonBlocking,
+			Clock: clock.NewManual(1000), CallTimeout: 200 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := net.Register(id, srv.Peer())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Peer().Attach(ep)
+		return srv
+	}
+	coord := newServer(topology.ServerID(0, 0))
+	cohortID := topology.ServerID(1, 1)
+	cohort := newServer(cohortID)
+	t.Cleanup(cohort.Stop)
+
+	// The cohort is unreachable: the pump's first call hangs until its
+	// timeout, so everything launched after it queues in the coalescer.
+	net.SetLinkFault(coord.self, cohortID, transport.FaultBlackhole)
+
+	const n = 8
+	key := keysOn(t, topo, topology.PartitionID(1), 1)[0]
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := wire.NewTxID(coord.self.DC, coord.self.Partition(), uint64(i+1))
+			_, errs[i] = coord.prepBatch.call(cohortID, wire.PrepareReq{
+				TxID: id, HT: coord.clock.Now(),
+				Writes: []wire.KV{{Key: key, Value: []byte("v")}},
+			})
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let the pump take flight and the rest queue
+
+	released := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(released)
+	}()
+	coord.Stop()
+	select {
+	case <-released:
+	case <-time.After(150 * time.Millisecond):
+		t.Fatal("waiters still blocked after Stop: shutdown drain stranded them")
+	}
+	for i, err := range errs {
+		if err != ErrServerStopped {
+			t.Errorf("prepare %d returned %v, want ErrServerStopped", i, err)
+		}
+	}
+
+	// New prepares after shutdown are refused outright.
+	if _, err := coord.prepBatch.call(cohortID, wire.PrepareReq{
+		TxID: wire.NewTxID(0, 0, 99), HT: coord.clock.Now(),
+	}); err != ErrServerStopped {
+		t.Fatalf("post-stop prepare returned %v, want ErrServerStopped", err)
+	}
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"time"
+
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// Crash-recovery of the two-phase-commit log.
+//
+// In presumed-abort 2PC a cohort durably logs a prepare BEFORE acknowledging
+// it, and a coordinator durably logs its commit decision before answering
+// the client — those log records are what crash recovery replays. This
+// repository's store already stands in for the durable log on the data
+// plane; TwoPCExport is the matching stand-in for the 2PC log records, so a
+// restarted replica rejoins holding exactly what a real deployment would
+// recover from disk.
+//
+// Without it there was a silent atomicity hole the nemesis crash_restart
+// scenario surfaced: a cohort that acked a prepare and then crashed while
+// the CohortCommit cast was in flight lost the prepared entry with the rest
+// of its process state. The cast was accepted onto the (now dead) link, so
+// the coordinator's refused-cast fallback never fired; the restarted cohort
+// had no entry left to feed the reaper's decision query; and its fresh
+// version clock republished a high upper bound — the UST certified
+// snapshots over the transaction's missing slice while the other
+// partitions' slices were visible. An acked commit partially vanished,
+// permanently, with no error anywhere.
+//
+// Recovery restores the invariant the prepared entry exists to provide: the
+// version-clock upper bound stays pinned below the prepare time until the
+// transaction's fate is known. Recovered prepares are backdated so the
+// first reaper sweep (kicked immediately on Start) resolves them through
+// the normal decision-query flow — the coordinator's decision memory, which
+// itself survives that coordinator's restarts via the same export.
+type TwoPCExport struct {
+	prepared  []preparedTx
+	committed []committedTx
+	aborted   map[wire.TxID]time.Time
+	decided   map[wire.TxID]decidedTx
+	done      map[wire.TxID]time.Time
+}
+
+// ExportTwoPC snapshots the server's 2PC log: prepared entries awaiting a
+// decision, committed-but-unapplied transactions, abort/reap tombstones,
+// coordinator decision memory, and recovery receipts. Call it on a stopped
+// (crashed) server and hand the result to the replacement's
+// Config.Recovered2PC. In-flight coordinator fan-outs (committing) are
+// deliberately excluded — they died with the process and their outcome is
+// answerable from decided/aborted alone; carrying them over would wedge
+// status queries on "pending" forever.
+func (s *Server) ExportTwoPC() *TwoPCExport {
+	e := &TwoPCExport{
+		aborted: make(map[wire.TxID]time.Time),
+		decided: make(map[wire.TxID]decidedTx),
+		done:    make(map[wire.TxID]time.Time),
+	}
+	for i := range s.twoPC.shards {
+		sh := &s.twoPC.shards[i]
+		sh.mu.Lock()
+		for _, p := range sh.prepared {
+			e.prepared = append(e.prepared, *p)
+		}
+		e.committed = append(e.committed, sh.committed...)
+		for id, at := range sh.aborted {
+			e.aborted[id] = at
+		}
+		for id, d := range sh.decided {
+			e.decided[id] = d
+		}
+		for id, at := range sh.done {
+			e.done[id] = at
+		}
+		sh.mu.Unlock()
+	}
+	return e
+}
+
+// importTwoPC seeds a fresh server's 2PC table from a crashed predecessor's
+// export. Called from New, before any loop or handler runs, so the prepared
+// entries pin the version-clock upper bound from the server's very first
+// apply round — no reader can take a snapshot above a still-undecided
+// prepare. Recovered prepares are backdated a full PreparedTTL so the first
+// reaper sweep queries their coordinators immediately instead of waiting
+// out the TTL again.
+func (s *Server) importTwoPC(e *TwoPCExport) {
+	at := time.Now()
+	if s.cfg.PreparedTTL > 0 {
+		at = at.Add(-s.cfg.PreparedTTL)
+	}
+	for i := range e.prepared {
+		p := e.prepared[i] // copy; the export stays reusable
+		p.at, p.resolving = at, false
+		sh := s.twoPC.shard(p.id)
+		sh.mu.Lock()
+		sh.nPrepared.Add(1)
+		if !sh.insertPreparedLocked(&p) {
+			sh.nPrepared.Add(-1)
+		}
+		sh.mu.Unlock()
+		s.recovered2PC = true
+	}
+	for _, c := range e.committed {
+		sh := s.twoPC.shard(c.id)
+		sh.mu.Lock()
+		sh.pushCommittedLocked(c)
+		sh.mu.Unlock()
+		s.clock.Observe(c.ct)
+	}
+	for id, t := range e.aborted {
+		sh := s.twoPC.shard(id)
+		sh.mu.Lock()
+		sh.aborted[id] = t
+		sh.mu.Unlock()
+	}
+	for id, d := range e.decided {
+		sh := s.twoPC.shard(id)
+		sh.mu.Lock()
+		sh.decided[id] = d
+		sh.mu.Unlock()
+	}
+	for id, t := range e.done {
+		sh := s.twoPC.shard(id)
+		sh.mu.Lock()
+		sh.done[id] = t
+		sh.mu.Unlock()
+	}
+}

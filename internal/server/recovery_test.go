@@ -1,0 +1,153 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/transport"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// TestRecoveredPrepareResolvesAfterRestart pins the crash window the nemesis
+// crash_restart scenario surfaced: a cohort acks a prepare, the coordinator
+// decides commit, and the cohort dies while the CohortCommit cast is in
+// flight. The cast was accepted (not refused), so the coordinator's
+// confirmCommit fallback never fires — the decision must instead be
+// recovered by the restarted cohort replaying its 2PC log: the exported
+// prepared entry re-pins the version clock and the immediate reaper sweep
+// queries the coordinator's decision memory, which promotes the entry at
+// its true commit timestamp. Before TwoPCExport the prepared entry died
+// with the process and the acked slice was silently lost forever.
+func TestRecoveredPrepareResolvesAfterRestart(t *testing.T) {
+	topo, err := topology.New(3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewMemNet(nil)
+	defer func() { _ = net.Close() }()
+
+	newServer := func(id topology.NodeID, st Config) *Server {
+		st.ID, st.Topology, st.Mode = id, topo, ModeNonBlocking
+		st.ApplyInterval = time.Millisecond
+		st.GossipInterval = time.Millisecond
+		st.USTInterval = time.Millisecond
+		st.CallTimeout = 100 * time.Millisecond
+		st.PreparedTTL = 100 * time.Millisecond
+		srv, err := New(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := net.Register(id, srv.Peer())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Peer().Attach(ep)
+		srv.Start()
+		return srv
+	}
+
+	coord := newServer(topology.ServerID(0, 0), Config{})
+	t.Cleanup(coord.Stop)
+	cohortID := topology.ServerID(1, 1)
+	cohort := newServer(cohortID, Config{})
+
+	// Prepare on the cohort; it acks and holds the entry.
+	key := keysOn(t, topo, topology.PartitionID(1), 1)[0]
+	id := wire.NewTxID(coord.self.DC, coord.self.Partition(), 42)
+	resp, err := coord.prepBatch.call(cohortID, wire.PrepareReq{
+		TxID: id, HT: coord.clock.Now(),
+		Writes: []wire.KV{{Key: key, Value: []byte("recovered")}},
+	})
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	pr, ok := resp.(wire.PrepareResp)
+	if !ok {
+		t.Fatalf("prepare answered %#v", resp)
+	}
+	if got := cohort.PendingPrepared(); got != 1 {
+		t.Fatalf("cohort holds %d prepared entries, want 1", got)
+	}
+
+	// The coordinator decides commit — its decision memory now holds the
+	// fate — but the cohort crashes before any CohortCommit can arrive.
+	ct := pr.Proposed
+	sh := coord.twoPC.shard(id)
+	sh.mu.Lock()
+	sh.decided[id] = decidedTx{ct: ct, at: time.Now(), acked: []topology.NodeID{cohortID}}
+	sh.mu.Unlock()
+
+	net.Deregister(cohortID)
+	cohort.Stop()
+
+	ex := cohort.ExportTwoPC()
+
+	// Restart over the crashed instance's store and 2PC log.
+	restarted := newServer(cohortID, Config{Store: cohort.Store(), Recovered2PC: ex})
+	t.Cleanup(restarted.Stop)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		m := restarted.Metrics()
+		if m.CommitsRecovered >= 1 && restarted.PendingPrepared() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered prepare never resolved: metrics=%+v prepared=%d",
+				m, restarted.PendingPrepared())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The slice is installed at its true commit timestamp and readable.
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		if item, found := restarted.Store().Read(key, hlc.MaxTimestamp); found {
+			if string(item.Value) != "recovered" || item.UT != ct || item.TxID != id {
+				t.Fatalf("recovered item = %+v, want value %q at ct=%v id=%v",
+					item, "recovered", ct, id)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered commit never applied to the store")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestExportTwoPCCarriesTombstones pins the other half of the 2PC log: an
+// abort tombstone survives the crash, so a straggling CommitRecover retry
+// for a transaction the cohort reaped before dying is still rejected after
+// the restart instead of planting a version inside already-served snapshots.
+func TestExportTwoPCCarriesTombstones(t *testing.T) {
+	topo, err := topology.New(3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{ID: topology.ServerID(1, 1), Topology: topo, Mode: ModeNonBlocking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := wire.NewTxID(0, 0, 7)
+	srv.handleAbortTx(wire.AbortTx{TxID: id})
+	srv.Stop()
+
+	restarted, err := New(Config{ID: topology.ServerID(1, 1), Topology: topo,
+		Mode: ModeNonBlocking, Store: srv.Store(), Recovered2PC: srv.ExportTwoPC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Stop()
+
+	resp := restarted.handleCommitRecover(wire.CommitRecover{
+		TxID: id, CommitTS: restarted.clock.Now(),
+		Writes: []wire.KV{{Key: "x", Value: []byte("stale")}},
+	})
+	st, ok := resp.(wire.TxStatusResp)
+	if !ok || st.Status != wire.TxStatusAborted {
+		t.Fatalf("CommitRecover for a pre-crash tombstoned tx answered %#v, want aborted", resp)
+	}
+}

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// Replication-stream repair.
+//
+// The replicate channel is fire-and-forget: each ΔR round's chunks carry a
+// cumulative watermark (UpTo) that the receiver's version-vector entry
+// advances to. On a lossy link that design has a silent failure mode — drop
+// one chunk and the next one's watermark covers the hole without the data,
+// the UST certifies snapshots above the missing writes, and causal reads
+// are broken forever with no error anywhere. The nemesis blackhole
+// scenarios surfaced exactly that.
+//
+// The repair keeps the channel fire-and-forget but makes loss evident and
+// recoverable:
+//
+//   - every chunk carries (Epoch, Seq): Seq increments per destination per
+//     chunk; Epoch identifies the sender incarnation (a restart resets Seq
+//     with the rest of volatile state);
+//   - a receiver accepts a chunk only at the exact next (Epoch, Seq). On
+//     any mismatch it freezes the stream — the vv entry stops advancing,
+//     which freezes the UST at the hole (safe, invisible writes stay
+//     invisible) — and casts a ReplSyncReq carrying its watermark;
+//   - the sender answers from its store (the durable record of everything
+//     it ever replicated, so no retransmission log is needed): every
+//     version in (FromTS, ub], plus the stream position where sequenced
+//     delivery resumes. The response is emitted inside the apply round,
+//     immediately before the chunk carrying NextSeq, so on the FIFO link
+//     the repair and the resumption are gapless;
+//   - the receiver applies the repair, advances its vv entry to UpTo, and
+//     thaws the stream.
+//
+// Requests are retried (paced by replSyncRetry) as long as mismatching
+// chunks keep arriving, so a repair request lost to the same fault that
+// caused the hole heals once the link does. The legacy unbatched wire path
+// (BatchMaxItems < 0) predates sequencing and keeps its fire-and-forget
+// semantics.
+
+// replInStream is the receiver-side cursor for one source DC's stream. An
+// epoch of zero means no sender incarnation has been latched yet.
+type replInStream struct {
+	mu      sync.Mutex
+	epoch   uint64
+	nextSeq uint64
+	syncing bool
+	lastReq time.Time
+}
+
+// replInAccept decides whether a replication chunk is the next in-order
+// element of its stream. Out-of-order chunks are dropped after (rate-
+// limitedly) requesting a store-backed repair from the sender.
+func (s *Server) replInAccept(m wire.ReplicateBatch) bool {
+	if int(m.SrcDC) >= len(s.replIn) {
+		return false
+	}
+	if m.Epoch == 0 {
+		// Unsequenced batch — a pre-sequencing sender or a hand-built test
+		// message. Apply it without moving the stream cursor; live senders
+		// always stamp a nonzero epoch.
+		return true
+	}
+	st := &s.replIn[m.SrcDC]
+	st.mu.Lock()
+	if st.epoch == 0 && m.Seq == 1 {
+		// First contact with this sender incarnation from a fresh cursor:
+		// latch onto its epoch and accept from the top of the stream.
+		st.epoch = m.Epoch
+		st.nextSeq = 1
+	}
+	if m.Epoch == st.epoch && m.Seq == st.nextSeq {
+		st.nextSeq++
+		st.mu.Unlock()
+		return true
+	}
+	now := time.Now()
+	sendReq := !st.syncing || now.Sub(st.lastReq) >= s.replSyncRetry
+	if sendReq {
+		st.syncing = true
+		st.lastReq = now
+	}
+	st.mu.Unlock()
+	if sendReq {
+		var from hlc.Timestamp
+		if int(m.SrcDC) < len(s.vv) {
+			from = s.vv[m.SrcDC].Load()
+		}
+		s.metrics.replSyncReq.Add(1)
+		_ = s.peer.Cast(topology.ServerID(m.SrcDC, s.self.Partition()),
+			wire.ReplSyncReq{ReqDC: s.self.DC, FromTS: from})
+	}
+	return false
+}
+
+// handleReplSyncReq records a peer's repair request; the next apply round
+// answers it (maybeReplSync) so the response slots into the stream at a
+// known sequence position. Concurrent requests from the same DC keep the
+// most conservative watermark.
+func (s *Server) handleReplSyncReq(m wire.ReplSyncReq) {
+	s.syncMu.Lock()
+	if cur, ok := s.syncReqs[m.ReqDC]; !ok || m.FromTS < cur {
+		s.syncReqs[m.ReqDC] = m.FromTS
+	}
+	s.syncMu.Unlock()
+}
+
+// maybeReplSync, called by applyTick for each peer after the round's apply
+// and version-clock publication (ub) and before the round's chunks are
+// sequenced, answers a pending repair request from this peer's DC.
+func (s *Server) maybeReplSync(peer topology.NodeID, ub hlc.Timestamp) {
+	s.syncMu.Lock()
+	fromTS, ok := s.syncReqs[peer.DC]
+	if ok {
+		delete(s.syncReqs, peer.DC)
+	}
+	s.syncMu.Unlock()
+	if !ok {
+		return
+	}
+	resp := wire.ReplSyncResp{
+		SrcDC:   s.self.DC,
+		Epoch:   s.replEpoch,
+		NextSeq: s.replSeq[peer] + 1,
+		UpTo:    ub,
+		Items:   s.store.VersionsIn(fromTS, ub),
+	}
+	_ = s.peer.Cast(peer, resp)
+	s.metrics.replSyncServed.Add(1)
+}
+
+// handleReplSyncResp installs a repair: apply the missing versions, thaw
+// the stream at the sender-designated position, and only then republish the
+// version-vector entry (store-then-publish, as everywhere).
+func (s *Server) handleReplSyncResp(m wire.ReplSyncResp) {
+	if int(m.SrcDC) >= len(s.replIn) {
+		return
+	}
+	if len(m.Items) > 0 {
+		s.store.ApplyBatchConcurrent(m.Items, s.cfg.ApplyWorkers)
+		s.metrics.replItems.Add(uint64(len(m.Items)))
+	}
+	st := &s.replIn[m.SrcDC]
+	st.mu.Lock()
+	st.epoch = m.Epoch
+	st.nextSeq = m.NextSeq
+	st.syncing = false
+	st.mu.Unlock()
+	s.clock.Observe(m.UpTo)
+	s.advanceVV(m.SrcDC, m.UpTo)
+	s.notifyInstalled(s.installedLowerBound())
+	s.metrics.replSyncApplied.Add(1)
+}

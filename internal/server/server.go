@@ -123,6 +123,27 @@ type Config struct {
 	// live coordinator's decision always wins the race); negative disables
 	// reaping.
 	PreparedTTL time.Duration
+	// Store, when non-nil, is the multi-version store the server serves from
+	// instead of a fresh one. The restart half of a crash/restart cycle hands
+	// the crashed server's store to its replacement, modelling data that
+	// survives a process crash while the volatile stabilization and
+	// replication state does not.
+	Store *store.MVStore
+	// Recovered2PC, when non-nil, is the crashed predecessor's 2PC log
+	// (ExportTwoPC) — the stand-in for the prepare/decision records a real
+	// presumed-abort deployment replays from its write-ahead log on restart.
+	// Recovered prepared entries keep the version clock pinned below their
+	// prepare times and are resolved through the coordinator decision-query
+	// flow as soon as the server starts (see recovery.go).
+	Recovered2PC *TwoPCExport
+	// RecoveryHold, when positive, freezes the apply/replicate plane for the
+	// given duration after Start: committed transactions queue but are not
+	// applied, the local version clock does not advance, and no replication or
+	// heartbeat leaves the server. A restarted server uses the hold to keep
+	// the UST frozen below any commit decision that may have been lost in its
+	// crash window, giving coordinators' CommitRecover retries time to land
+	// before any reader can take a snapshot above them.
+	RecoveryHold time.Duration
 	// VisibilitySample records every k-th applied version for update
 	// visibility latency measurement (Fig. 4); 0 disables tracking.
 	VisibilitySample int
@@ -320,10 +341,34 @@ type Server struct {
 	waiters []installWaiter
 	vis     *visibilityTracker
 
+	// holdUntil, when non-zero, is the monotonic instant the post-restart
+	// recovery hold expires; applyTick idles until then (see
+	// Config.RecoveryHold). Written once in Start before any loop runs.
+	holdUntil time.Time
+
+	// Replication-stream repair (replsync.go). Sender side: replEpoch
+	// identifies this server incarnation; replSeq is the per-destination
+	// chunk sequence (applyTick goroutine only, no lock); syncReqs holds
+	// repair requests awaiting the next apply round. Receiver side: replIn
+	// is the per-source-DC stream cursor table; replSyncRetry paces
+	// re-requests while a repair is outstanding.
+	replEpoch     uint64
+	replSeq       map[topology.NodeID]uint64
+	syncMu        sync.Mutex
+	syncReqs      map[topology.DCID]hlc.Timestamp
+	replIn        []replInStream
+	replSyncRetry time.Duration
+
+	// recovered2PC is set when Config.Recovered2PC seeded prepared entries;
+	// Start then kicks an immediate reaper sweep so the recovered entries'
+	// decision queries fire right away instead of waiting out a TTL.
+	recovered2PC bool
+
 	startOnce sync.Once
 	stopOnce  sync.Once
 	stopped   chan struct{}
 	loopWG    sync.WaitGroup // background loops
+	reqMu     sync.RWMutex   // spawn's stopped-check + Add vs Stop's close + Wait
 	reqWG     sync.WaitGroup // in-flight request goroutines
 
 	metrics Metrics
@@ -336,11 +381,15 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	st := full.Store
+	if st == nil {
+		st = store.New()
+	}
 	s := &Server{
 		cfg:     full,
 		self:    full.ID,
 		clock:   hlc.NewClock(full.Clock),
-		store:   store.New(),
+		store:   st,
 		vv:      make([]atomicTS, full.Topology.NumDCs()),
 		vvLive:  make([]bool, full.Topology.NumDCs()),
 		stopped: make(chan struct{}),
@@ -348,12 +397,28 @@ func New(cfg Config) (*Server, error) {
 	s.txCtx.init()
 	s.twoPC.init()
 	s.prepBatch.init(s)
+	s.replEpoch = uint64(time.Now().UnixNano())
+	s.replSeq = make(map[topology.NodeID]uint64)
+	s.syncReqs = make(map[topology.DCID]hlc.Timestamp)
+	s.replIn = make([]replInStream, full.Topology.NumDCs())
+	s.replSyncRetry = max(4*full.ApplyInterval, 10*time.Millisecond)
+	// Seed the transaction sequence with a ~µs-granularity wall-clock base so
+	// TxIDs stay unique across coordinator incarnations: a restarted
+	// coordinator that re-counted from zero would reissue its predecessor's
+	// ids, colliding with surviving 2PC tombstones on cohorts (a fresh
+	// transaction could inherit a stale abort) and with every TxID-keyed
+	// record downstream. Catching up to a later incarnation's base would take
+	// a sustained million transactions per second from one coordinator.
+	s.txSeq.Store(uint64(time.Now().UnixNano() >> 10))
 	for _, dc := range full.Topology.ReplicaDCs(full.ID.Partition()) {
 		s.vvLive[dc] = true
 	}
 	s.stab.init(s)
 	if full.VisibilitySample > 0 {
 		s.vis = newVisibilityTracker(full.VisibilitySample)
+	}
+	if full.Recovered2PC != nil {
+		s.importTwoPC(full.Recovered2PC)
 	}
 	s.peer = transport.NewPeer(full.ID, s)
 	return s, nil
@@ -374,6 +439,9 @@ func (s *Server) Mode() Mode { return s.cfg.Mode }
 // Start launches the background protocol loops. It is idempotent.
 func (s *Server) Start() {
 	s.startOnce.Do(func() {
+		if s.cfg.RecoveryHold > 0 {
+			s.holdUntil = time.Now().Add(s.cfg.RecoveryHold)
+		}
 		s.runLoop(s.cfg.ApplyInterval, s.applyTick)
 		s.runLoop(s.cfg.GossipInterval, s.stab.gossipTick)
 		if s.stab.isRoot {
@@ -385,6 +453,11 @@ func (s *Server) Start() {
 		s.runLoop(s.cfg.TxContextTTL/2, s.ctxCleanupTick)
 		if s.cfg.PreparedTTL > 0 {
 			s.runLoop(s.cfg.PreparedTTL/4, s.reapTick)
+			if s.recovered2PC {
+				// Resolve recovered prepares now — their coordinators may hold
+				// commit decisions whose CohortCommit died with the crash.
+				s.spawn(s.reapTick)
+			}
 		}
 	})
 }
@@ -393,8 +466,15 @@ func (s *Server) Start() {
 // handlers. It is idempotent and safe to call before Start.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
+		// The write lock excludes every in-flight spawn: each holds the read
+		// lock across its stopped-check and WaitGroup.Add, so once the close
+		// is published no further request goroutine can be added and the
+		// Wait below cannot race an Add.
+		s.reqMu.Lock()
 		close(s.stopped)
+		s.reqMu.Unlock()
 		s.notifyInstalled(hlc.MaxTimestamp) // release blocked BPR readers
+		s.prepBatch.shutdown()              // fail queued prepares deterministically
 	})
 	s.loopWG.Wait()
 	s.reqWG.Wait()
@@ -437,16 +517,25 @@ func (s *Server) HandleRequest(from topology.NodeID, req wire.Message, reply fun
 		reply(wire.ErrorResp{Code: wire.CodeShuttingDown, Msg: "server stopped"})
 		return
 	}
+	refused := func() { // Stop won the race against this delivery's spawn
+		reply(wire.ErrorResp{Code: wire.CodeShuttingDown, Msg: "server stopped"})
+	}
 	switch m := req.(type) {
 	case wire.StartTxReq:
 		reply(s.handleStartTx(m))
 	case wire.ReadReq:
-		s.spawn(func() { reply(s.handleRead(m)) })
+		if !s.spawn(func() { reply(s.handleRead(m)) }) {
+			refused()
+		}
 	case wire.CommitReq:
-		s.spawn(func() { reply(s.handleCommit(m)) })
+		if !s.spawn(func() { reply(s.handleCommit(m)) }) {
+			refused()
+		}
 	case wire.ReadSliceReq:
 		if s.cfg.Mode == ModeBlocking {
-			s.spawn(func() { reply(s.handleReadSliceBlocking(m)) })
+			if !s.spawn(func() { reply(s.handleReadSliceBlocking(m)) }) {
+				refused()
+			}
 		} else {
 			reply(s.handleReadSlice(m))
 		}
@@ -456,6 +545,8 @@ func (s *Server) HandleRequest(from topology.NodeID, req wire.Message, reply fun
 		reply(s.handlePrepareBatch(m))
 	case wire.TxStatusReq:
 		reply(s.handleTxStatus(from, m))
+	case wire.CommitRecover:
+		reply(s.handleCommitRecover(m))
 	default:
 		reply(wire.ErrorResp{Code: wire.CodeUnknownTx,
 			Msg: fmt.Sprintf("unexpected request %v", req.Kind())})
@@ -478,6 +569,10 @@ func (s *Server) HandleCast(from topology.NodeID, msg wire.Message) {
 		s.handleReplicateBatch(m)
 	case wire.Heartbeat:
 		s.handleHeartbeat(m)
+	case wire.ReplSyncReq:
+		s.handleReplSyncReq(m)
+	case wire.ReplSyncResp:
+		s.handleReplSyncResp(m)
 	case wire.FinishTx:
 		s.handleFinishTx(m)
 	case wire.GSTUp:
@@ -489,12 +584,24 @@ func (s *Server) HandleCast(from topology.NodeID, msg wire.Message) {
 	}
 }
 
-func (s *Server) spawn(fn func()) {
+// spawn runs fn on a tracked request goroutine. When the server is stopping
+// it reports false without running fn: the stopped-check and the
+// WaitGroup.Add happen under the read lock, so they are atomic with respect
+// to Stop's close-then-Wait and a late delivery can never add a goroutine
+// Stop has stopped waiting for.
+func (s *Server) spawn(fn func()) bool {
+	s.reqMu.RLock()
+	if s.isStopped() {
+		s.reqMu.RUnlock()
+		return false
+	}
 	s.reqWG.Add(1)
+	s.reqMu.RUnlock()
 	go func() {
 		defer s.reqWG.Done()
 		fn()
 	}()
+	return true
 }
 
 // gcTick trims version chains below the globally agreed oldest active
@@ -659,6 +766,9 @@ func (s *Server) promoteLocked(sh *twoPCShard, p *preparedTx, ct hlc.Timestamp) 
 		srcDC:  p.srcDC,
 		writes: p.writes,
 	})
+	// Mark the recovery so a racing CommitRecover retry for the same id is
+	// acknowledged instead of installing the transaction a second time.
+	sh.done[p.id] = time.Now()
 }
 
 // resolveOrphan asks a remote coordinator for an expired prepared

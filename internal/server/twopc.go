@@ -53,6 +53,12 @@ type twoPCShard struct {
 	decided map[wire.TxID]decidedTx
 	// committing marks 2PC fan-outs in flight on this coordinator.
 	committing map[wire.TxID]struct{}
+	// done remembers commits that arrived through a recovery path — a
+	// CommitRecover call or a reaper status query — so retries of the same
+	// recovery are acknowledged without re-installing the transaction. The
+	// common cast-delivered commit is not recorded: a cast either errors
+	// (and recovery takes over) or is delivered exactly once per FIFO link.
+	done map[wire.TxID]time.Time
 
 	// minPT caches min{p.pt} over prepared; valid only while minValid and
 	// prepared is non-empty. Inserts fold into the cache, removing the
@@ -76,6 +82,7 @@ func (t *twoPCTable) init() {
 		sh.aborted = make(map[wire.TxID]time.Time)
 		sh.decided = make(map[wire.TxID]decidedTx)
 		sh.committing = make(map[wire.TxID]struct{})
+		sh.done = make(map[wire.TxID]time.Time)
 	}
 }
 
@@ -241,6 +248,11 @@ func (t *twoPCTable) pruneDecisions(cutoff time.Time) {
 		for id, d := range sh.decided {
 			if d.at.Before(cutoff) {
 				delete(sh.decided, id)
+			}
+		}
+		for id, at := range sh.done {
+			if at.Before(cutoff) {
+				delete(sh.done, id)
 			}
 		}
 		sh.mu.Unlock()

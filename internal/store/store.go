@@ -222,6 +222,31 @@ func (sh *shard) apply(item wire.Item) {
 	sh.chains[item.Key] = chain
 }
 
+// VersionsIn collects every version with UT in (after, upTo], across all
+// keys. It backs replication-stream repair: a peer that detected message
+// loss asks for everything above its version-vector watermark, and the
+// sender answers from here — the store is the durable record of what was
+// replicated, so no separate retransmission log is needed. Versions already
+// held by the requester are included too (the store cannot attribute a
+// version to one replication stream); re-applying them is an idempotent
+// no-op.
+func (s *MVStore) VersionsIn(after, upTo hlc.Timestamp) []wire.Item {
+	var out []wire.Item
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, chain := range sh.chains {
+			for _, v := range chain {
+				if v.UT > after && v.UT <= upTo {
+					out = append(out, v)
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
 // Read returns the freshest version of key with UT ≤ snapshot (Alg. 3
 // lines 4–7), and false if no version is visible.
 func (s *MVStore) Read(key string, snapshot hlc.Timestamp) (wire.Item, bool) {

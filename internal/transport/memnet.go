@@ -106,6 +106,17 @@ func (n *MemNet) Register(id topology.NodeID, h Handler) (Endpoint, error) {
 	return ep, nil
 }
 
+// Deregister removes a node from the network, modelling a process crash from
+// the network's point of view: envelopes already queued toward it are dropped
+// at delivery time (the nil-destination check in memLink.run) and new sends
+// fail fast with ErrUnknownNode instead of disappearing silently. The id can
+// be re-registered later — the restart half of a crash/restart episode.
+func (n *MemNet) Deregister(id topology.NodeID) {
+	n.mu.Lock()
+	delete(n.nodes, id)
+	n.mu.Unlock()
+}
+
 // Close implements Network. Queued envelopes are discarded.
 func (n *MemNet) Close() error {
 	n.mu.Lock()

@@ -81,6 +81,10 @@ func AppendMessage(buf []byte, msg Message) []byte {
 	case CohortCommit:
 		buf = putU64(buf, uint64(m.TxID))
 		buf = putTS(buf, m.CommitTS)
+	case CommitRecover:
+		buf = putU64(buf, uint64(m.TxID))
+		buf = putTS(buf, m.CommitTS)
+		buf = putKVs(buf, m.Writes)
 	case AbortTx:
 		buf = putU64(buf, uint64(m.TxID))
 	case TxStatusReq:
@@ -95,12 +99,23 @@ func AppendMessage(buf []byte, msg Message) []byte {
 		buf = putTxns(buf, m.Txns)
 	case ReplicateBatch:
 		buf = putU32(buf, uint32(m.SrcDC))
+		buf = putU64(buf, m.Epoch)
+		buf = putU64(buf, m.Seq)
 		buf = putTS(buf, m.UpTo)
 		buf = putU32(buf, uint32(len(m.Groups)))
 		for _, g := range m.Groups {
 			buf = putTS(buf, g.CT)
 			buf = putTxns(buf, g.Txns)
 		}
+	case ReplSyncReq:
+		buf = putU32(buf, uint32(m.ReqDC))
+		buf = putTS(buf, m.FromTS)
+	case ReplSyncResp:
+		buf = putU32(buf, uint32(m.SrcDC))
+		buf = putU64(buf, m.Epoch)
+		buf = putU64(buf, m.NextSeq)
+		buf = putTS(buf, m.UpTo)
+		buf = putItems(buf, m.Items)
 	case Heartbeat:
 		buf = putU32(buf, uint32(m.SrcDC))
 		buf = putTS(buf, m.TS)
@@ -182,6 +197,8 @@ func Decode(data []byte) (Message, error) {
 		msg = pr
 	case KindCohortCommit:
 		msg = CohortCommit{TxID: TxID(r.u64()), CommitTS: r.ts()}
+	case KindCommitRecover:
+		msg = CommitRecover{TxID: TxID(r.u64()), CommitTS: r.ts(), Writes: r.kvs()}
 	case KindAbortTx:
 		msg = AbortTx{TxID: TxID(r.u64())}
 	case KindTxStatusReq:
@@ -191,7 +208,7 @@ func Decode(data []byte) (Message, error) {
 	case KindReplicate:
 		msg = Replicate{SrcDC: topology.DCID(r.u32()), CT: r.ts(), Txns: r.txns()}
 	case KindReplicateBatch:
-		rep := ReplicateBatch{SrcDC: topology.DCID(r.u32()), UpTo: r.ts()}
+		rep := ReplicateBatch{SrcDC: topology.DCID(r.u32()), Epoch: r.u64(), Seq: r.u64(), UpTo: r.ts()}
 		n := r.sliceLen()
 		if n > 0 {
 			rep.Groups = make([]ReplicateGroup, 0, n)
@@ -200,6 +217,10 @@ func Decode(data []byte) (Message, error) {
 			}
 		}
 		msg = rep
+	case KindReplSyncReq:
+		msg = ReplSyncReq{ReqDC: topology.DCID(r.u32()), FromTS: r.ts()}
+	case KindReplSyncResp:
+		msg = ReplSyncResp{SrcDC: topology.DCID(r.u32()), Epoch: r.u64(), NextSeq: r.u64(), UpTo: r.ts(), Items: r.items()}
 	case KindHeartbeat:
 		msg = Heartbeat{SrcDC: topology.DCID(r.u32()), TS: r.ts()}
 	case KindGSTUp:

@@ -139,6 +139,19 @@ const (
 	KindPrepareBatch
 	// KindPrepareBatchResp answers every prepare of a batch in one message.
 	KindPrepareBatchResp
+	// KindCommitRecover re-delivers a commit decision as a request/response
+	// call when the fire-and-forget CohortCommit cast fails; it carries the
+	// cohort's writes so even a cohort that restarted since preparing can
+	// install the transaction.
+	KindCommitRecover
+	// KindReplSyncReq asks a peer replica to repair the replication stream
+	// from its store after the receiver detected a sequence gap or an epoch
+	// change.
+	KindReplSyncReq
+	// KindReplSyncResp carries the repair: every store version above the
+	// requested watermark, plus the stream position at which normal
+	// sequenced delivery resumes.
+	KindReplSyncResp
 )
 
 // String implements fmt.Stringer.
@@ -168,6 +181,9 @@ func (k Kind) String() string {
 		KindTxStatusResp:     "TxStatusResp",
 		KindPrepareBatch:     "PrepareBatch",
 		KindPrepareBatchResp: "PrepareBatchResp",
+		KindCommitRecover:    "CommitRecover",
+		KindReplSyncReq:      "ReplSyncReq",
+		KindReplSyncResp:     "ReplSyncResp",
 	}
 	if int(k) < len(names) && names[k] != "" {
 		return names[k]
@@ -331,6 +347,57 @@ type CohortCommit struct {
 // Kind implements Message.
 func (CohortCommit) Kind() Kind { return KindCohortCommit }
 
+// CommitRecover re-delivers a commit decision, with the transaction's writes
+// for the receiving cohort, as a request/response call. The coordinator falls
+// back to it when the CohortCommit cast errors (cohort crashed, restarted, or
+// its link refused the send): unlike the cast, the call is acknowledged and
+// retried, so a decided commit cannot be silently lost in a crash window. A
+// cohort that still holds the prepared entry promotes it exactly as a
+// CohortCommit would and ignores Writes; a cohort that restarted since
+// preparing (no prepared entry, no tombstone, no applied record) installs the
+// writes directly. The cohort answers with a TxStatusResp confirming the fate.
+type CommitRecover struct {
+	TxID     TxID
+	CommitTS hlc.Timestamp
+	Writes   []KV
+}
+
+// Kind implements Message.
+func (CommitRecover) Kind() Kind { return KindCommitRecover }
+
+// ReplSyncReq asks the peer replica serving partition traffic for the
+// requester's DC to repair the replication stream. FromTS is the requester's
+// current version-vector entry for the sender's DC — the watermark below
+// which it has everything. Cast over the (FIFO) reverse link; the sender
+// answers within its next apply round.
+type ReplSyncReq struct {
+	// ReqDC identifies the requesting replica (the sender derives the node
+	// as its peer for the shared partition in that DC).
+	ReqDC  topology.DCID
+	FromTS hlc.Timestamp
+}
+
+// Kind implements Message.
+func (ReplSyncReq) Kind() Kind { return KindReplSyncReq }
+
+// ReplSyncResp repairs a broken replication stream from the sender's store:
+// Items is every version the sender has installed with timestamp in
+// (FromTS, UpTo]. Having applied them, the receiver may advance its
+// version-vector entry for SrcDC to UpTo and resume sequenced delivery at
+// (Epoch, NextSeq) — the sender emits the response inside its apply round,
+// immediately before the chunk carrying NextSeq, so FIFO delivery leaves no
+// window for a second gap.
+type ReplSyncResp struct {
+	SrcDC   topology.DCID
+	Epoch   uint64
+	NextSeq uint64
+	UpTo    hlc.Timestamp
+	Items   []Item
+}
+
+// Kind implements Message.
+func (ReplSyncResp) Kind() Kind { return KindReplSyncResp }
+
 // AbortTx releases a prepared transaction on a cohort. The coordinator casts
 // it to every cohort it sent a prepare to when the prepare phase fails on any
 // of them (peer down, link fault, refusal), so the surviving cohorts' Prepared
@@ -422,8 +489,19 @@ type ReplicateGroup struct {
 // every chunk but the last carries UpTo equal to its final group's CT, which
 // is safe for the same reason: FIFO links deliver the remainder of the round
 // before any later timestamp.
+//
+// Epoch and Seq make the stream loss-evident: Seq increments by one per
+// chunk per destination within a sender incarnation, and Epoch changes when
+// the sender restarts (its counters reset with its volatile state). A
+// receiver seeing anything but the next expected (Epoch, Seq) knows chunks
+// were lost — to a link fault or a crash window — and must not advance its
+// version vector from this stream again until a ReplSyncResp repairs it;
+// advancing past a hole would let the UST certify snapshots with missing
+// writes, silently breaking causal reads forever.
 type ReplicateBatch struct {
 	SrcDC  topology.DCID
+	Epoch  uint64
+	Seq    uint64
 	Groups []ReplicateGroup
 	UpTo   hlc.Timestamp
 }
@@ -542,6 +620,9 @@ var (
 	_ Message = PrepareBatch{}
 	_ Message = PrepareBatchResp{}
 	_ Message = CohortCommit{}
+	_ Message = CommitRecover{}
+	_ Message = ReplSyncReq{}
+	_ Message = ReplSyncResp{}
 	_ Message = AbortTx{}
 	_ Message = TxStatusReq{}
 	_ Message = TxStatusResp{}

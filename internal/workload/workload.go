@@ -25,6 +25,29 @@ type Mix struct {
 	Theta float64
 	// ValueSize is the written value size in bytes (paper: 8).
 	ValueSize int
+
+	// The fields below extend the paper's workloads toward production
+	// shapes; zero values reproduce the paper's behavior exactly.
+
+	// HotFraction is the probability that an operation targets one of the
+	// partition's HotKeys most popular keys directly instead of taking the
+	// zipfian draw — a "celebrity key" hot spot sharper than θ=0.99 alone.
+	HotFraction float64
+	// HotKeys is the size of the per-partition hot set (default 8 when
+	// HotFraction > 0).
+	HotKeys int
+	// WriteProb, when positive, decides read-vs-write per operation with a
+	// coin flip instead of the fixed ReadsPerTx:WritesPerTx split, so
+	// transactions vary from read-only to write-heavy around the mean. The
+	// operation count per transaction stays Ops().
+	WriteProb float64
+	// ValueJitter adds a uniform 0..ValueJitter bytes to every written
+	// value, modelling mixed small-record/large-blob traffic.
+	ValueJitter int
+	// MaxPartitionsPerTx, when above PartitionsPerTx, draws each
+	// transaction's partition count uniformly from
+	// [PartitionsPerTx, MaxPartitionsPerTx] instead of using a fixed width.
+	MaxPartitionsPerTx int
 }
 
 // The paper's named workloads.
@@ -35,6 +58,27 @@ var (
 	// WriteHeavy is the 50:50 r:w variant.
 	WriteHeavy = Mix{ReadsPerTx: 10, WritesPerTx: 10, PartitionsPerTx: 4,
 		LocalRatio: 0.95, Theta: 0.99, ValueSize: 8}
+
+	// Production-shaped mixes used by the nemesis harness: they keep the
+	// paper's 20-op transactions but stress dimensions the paper holds
+	// fixed.
+
+	// HotSpot hammers a tiny celebrity set: half of all operations hit the
+	// 8 hottest keys of their partition, concentrating write-write overlap
+	// and cache churn.
+	HotSpot = Mix{ReadsPerTx: 15, WritesPerTx: 5, PartitionsPerTx: 4,
+		LocalRatio: 0.95, Theta: 0.99, ValueSize: 8,
+		HotFraction: 0.5, HotKeys: 8}
+	// LargeValues writes kilobyte-scale blobs with heavy jitter, stressing
+	// replication batch splitting and apply throughput.
+	LargeValues = Mix{ReadsPerTx: 10, WritesPerTx: 10, PartitionsPerTx: 4,
+		LocalRatio: 0.95, Theta: 0.99, ValueSize: 1024, ValueJitter: 7168}
+	// Variable lets both the write ratio and the transaction width float:
+	// operations are writes with probability 0.3 and transactions span 1–6
+	// partitions, exercising every 2PC fan-out the topology allows.
+	Variable = Mix{ReadsPerTx: 14, WritesPerTx: 6, PartitionsPerTx: 1,
+		MaxPartitionsPerTx: 6, LocalRatio: 0.8, Theta: 0.99, ValueSize: 8,
+		WriteProb: 0.3}
 )
 
 // WithLocality returns a copy of m with a different local-DC:multi-DC ratio.
@@ -73,7 +117,7 @@ type Generator struct {
 	local []topology.PartitionID
 	rng   *rand.Rand
 	zipf  *Zipf
-	buf   []byte
+	hot   int
 }
 
 // NewGenerator builds a generator for a client homed in dc, with its own
@@ -88,6 +132,13 @@ func NewGenerator(mix Mix, topo *topology.Topology, ks *Keyspace, dc topology.DC
 	if mix.ValueSize <= 0 {
 		mix.ValueSize = 8
 	}
+	hot := mix.HotKeys
+	if hot <= 0 {
+		hot = 8
+	}
+	if hot > ks.KeysPerPartition() {
+		hot = ks.KeysPerPartition()
+	}
 	return &Generator{
 		mix:   mix,
 		topo:  topo,
@@ -96,7 +147,7 @@ func NewGenerator(mix Mix, topo *topology.Topology, ks *Keyspace, dc topology.DC
 		local: topo.PartitionsAt(dc),
 		rng:   rand.New(rand.NewSource(seed)),
 		zipf:  NewZipf(uint64(ks.KeysPerPartition()), mix.Theta),
-		buf:   make([]byte, mix.ValueSize),
+		hot:   hot,
 	}
 }
 
@@ -107,18 +158,36 @@ func (g *Generator) Next() TxPlan {
 
 	plan := TxPlan{MultiDC: multi}
 	ops := g.mix.Ops()
-	plan.ReadKeys = make([]string, 0, g.mix.ReadsPerTx)
+	plan.ReadKeys = make([]string, 0, ops)
 	plan.Writes = make([]wire.KV, 0, g.mix.WritesPerTx)
 	for i := 0; i < ops; i++ {
 		p := parts[i%len(parts)]
-		key := g.ks.Key(p, g.zipf.ScrambledNext(g.rng))
-		if i < g.mix.ReadsPerTx {
-			plan.ReadKeys = append(plan.ReadKeys, key)
-		} else {
+		key := g.ks.Key(p, g.rank())
+		if g.isWrite(i) {
 			plan.Writes = append(plan.Writes, wire.KV{Key: key, Value: g.value()})
+		} else {
+			plan.ReadKeys = append(plan.ReadKeys, key)
 		}
 	}
 	return plan
+}
+
+// rank draws a key rank: a direct hit on the celebrity set with probability
+// HotFraction, the scrambled zipfian draw otherwise.
+func (g *Generator) rank() uint64 {
+	if g.mix.HotFraction > 0 && g.rng.Float64() < g.mix.HotFraction {
+		return uint64(g.rng.Intn(g.hot))
+	}
+	return g.zipf.ScrambledNext(g.rng)
+}
+
+// isWrite decides operation i's direction: a coin flip under WriteProb,
+// otherwise the fixed reads-then-writes split.
+func (g *Generator) isWrite(i int) bool {
+	if g.mix.WriteProb > 0 {
+		return g.rng.Float64() < g.mix.WriteProb
+	}
+	return i >= g.mix.ReadsPerTx
 }
 
 // pickPartitions chooses the transaction's partition set without
@@ -137,6 +206,9 @@ func (g *Generator) pickPartitions(multi bool) []topology.PartitionID {
 		pool = append([]topology.PartitionID(nil), g.local...)
 	}
 	k := g.mix.PartitionsPerTx
+	if g.mix.MaxPartitionsPerTx > k {
+		k += g.rng.Intn(g.mix.MaxPartitionsPerTx - k + 1)
+	}
 	if k > len(pool) {
 		k = len(pool)
 	}
@@ -148,9 +220,14 @@ func (g *Generator) pickPartitions(multi bool) []topology.PartitionID {
 	return pool[:k]
 }
 
-// value produces a fresh random value of the configured size.
+// value produces a fresh random value of the configured size, plus uniform
+// jitter when the mix asks for mixed record sizes.
 func (g *Generator) value() []byte {
-	v := make([]byte, g.mix.ValueSize)
+	n := g.mix.ValueSize
+	if g.mix.ValueJitter > 0 {
+		n += g.rng.Intn(g.mix.ValueJitter + 1)
+	}
+	v := make([]byte, n)
 	g.rng.Read(v)
 	return v
 }

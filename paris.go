@@ -32,6 +32,7 @@ import (
 	"github.com/paris-kv/paris/internal/clock"
 	"github.com/paris-kv/paris/internal/hlc"
 	"github.com/paris-kv/paris/internal/server"
+	"github.com/paris-kv/paris/internal/store"
 	"github.com/paris-kv/paris/internal/topology"
 	"github.com/paris-kv/paris/internal/transport"
 )
@@ -45,14 +46,23 @@ type DCID = topology.DCID
 
 // Cluster is an embedded multi-DC PaRiS deployment.
 type Cluster struct {
-	cfg     Config
-	topo    *topology.Topology
-	net     *transport.MemNet
-	servers map[topology.NodeID]*server.Server
+	cfg  Config
+	topo *topology.Topology
+	net  *transport.MemNet
 
 	resolvers *resolverTable
 
+	// mkServer rebuilds a server for one node over an existing store and 2PC
+	// log — the restart half of a crash/restart episode. It captures the
+	// cluster-wide configuration so a restarted replica is indistinguishable
+	// from the original except for its (lost) volatile stabilization state.
+	mkServer func(id topology.NodeID, st *store.MVStore, rec *server.TwoPCExport, hold time.Duration) (*server.Server, error)
+
 	mu        sync.Mutex
+	servers   map[topology.NodeID]*server.Server
+	crashed   map[topology.NodeID]*server.Server
+	clocks    map[topology.NodeID]clock.Source
+	skews     map[topology.NodeID]*clock.Skewed
 	clientSeq map[topology.DCID]int32
 	coordSeq  map[topology.DCID]int
 	closed    bool
@@ -74,6 +84,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		topo:      topo,
 		net:       transport.NewMemNet(full.Latency),
 		servers:   make(map[topology.NodeID]*server.Server),
+		crashed:   make(map[topology.NodeID]*server.Server),
+		clocks:    make(map[topology.NodeID]clock.Source),
+		skews:     make(map[topology.NodeID]*clock.Skewed),
 		clientSeq: make(map[topology.DCID]int32),
 		coordSeq:  make(map[topology.DCID]int),
 		resolvers: newResolverTable(full.Resolvers),
@@ -92,14 +105,22 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		var src clock.Source = base
 		if full.ClockSkew > 0 {
 			skew := time.Duration(rng.Int63n(int64(2*full.ClockSkew))) - full.ClockSkew
-			src = clock.NewSkewed(base, skew, 0)
+			skewed := clock.NewSkewed(base, skew, 0)
+			c.skews[id] = skewed
+			src = skewed
 		}
-		srv, err := server.New(server.Config{
+		c.clocks[id] = src
+	}
+	c.mkServer = func(id topology.NodeID, st *store.MVStore, rec *server.TwoPCExport, hold time.Duration) (*server.Server, error) {
+		return server.New(server.Config{
 			ID:               id,
 			Topology:         topo,
 			Mode:             full.Mode,
 			Selector:         selector,
-			Clock:            src,
+			Clock:            c.clocks[id],
+			Store:            st,
+			Recovered2PC:     rec,
+			RecoveryHold:     hold,
 			ApplyInterval:    full.ApplyInterval,
 			BatchMaxItems:    full.BatchMaxItems,
 			BatchMaxBytes:    full.BatchMaxBytes,
@@ -114,6 +135,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			VisibilitySample: full.VisibilitySample,
 			ResolverFor:      c.resolvers.storeResolverFor,
 		})
+	}
+	for _, id := range topo.AllServers() {
+		srv, err := c.mkServer(id, nil, nil, 0)
 		if err != nil {
 			_ = c.Close()
 			return nil, err
@@ -143,18 +167,115 @@ func (c *Cluster) Config() Config { return c.cfg }
 func (c *Cluster) Net() *transport.MemNet { return c.net }
 
 // Server returns the replica of partition p hosted in dc, or nil when dc
-// does not replicate p.
+// does not replicate p (or the replica is currently crashed).
 func (c *Cluster) Server(dc DCID, p int) *server.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.servers[topology.ServerID(dc, topology.PartitionID(p))]
 }
 
-// Servers returns every server in the cluster.
+// Servers returns every live server in the cluster.
 func (c *Cluster) Servers() []*server.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]*server.Server, 0, len(c.servers))
 	for _, s := range c.servers {
 		out = append(out, s)
 	}
 	return out
+}
+
+// CrashServer models a process crash of one partition replica: the node
+// vanishes from the network (in-flight messages toward it drop, new sends
+// fail fast) and its server stops, losing all volatile stabilization and
+// replication state. The multiversion store and the 2PC log (prepared
+// entries, decision memory, tombstones) survive — together they stand in
+// for the write-ahead log a real presumed-abort deployment replays on
+// recovery; a prepare is durably logged before it is acknowledged, so a
+// crash can never silently drop an acked slice of a committed transaction.
+// RestartServer brings the node back.
+func (c *Cluster) CrashServer(id topology.NodeID) error {
+	c.mu.Lock()
+	srv, ok := c.servers[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("paris: no live server %v", id)
+	}
+	delete(c.servers, id)
+	c.crashed[id] = srv
+	c.mu.Unlock()
+	c.net.Deregister(id)
+	srv.Stop()
+	return nil
+}
+
+// RestartServer revives a crashed replica: a fresh server over the crashed
+// instance's store and 2PC log rejoins the network and starts with a
+// recovery hold of the given duration (see server.Config.RecoveryHold — the
+// apply plane stays frozen, and with it this node's UST contribution, until
+// coordinators have had time to re-deliver any commit decisions lost in the
+// crash). Recovered prepared entries immediately query their coordinators'
+// decision memory, so a CohortCommit that was in flight when the process
+// died is recovered rather than lost (see server.TwoPCExport).
+func (c *Cluster) RestartServer(id topology.NodeID, hold time.Duration) error {
+	c.mu.Lock()
+	old, ok := c.crashed[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("paris: server %v is not crashed", id)
+	}
+	delete(c.crashed, id)
+	c.mu.Unlock()
+	srv, err := c.mkServer(id, old.Store(), old.ExportTwoPC(), hold)
+	if err != nil {
+		return err
+	}
+	ep, err := c.net.Register(id, srv.Peer())
+	if err != nil {
+		return err
+	}
+	srv.Peer().Attach(ep)
+	c.mu.Lock()
+	c.servers[id] = srv
+	c.mu.Unlock()
+	srv.Start()
+	return nil
+}
+
+// SetClockSkew re-points one server's physical-clock skew mid-run, modelling
+// an NTP step or a drifting oscillator. It reports whether the node has a
+// skewable clock — clocks are only skew-wrapped when Config.ClockSkew > 0.
+func (c *Cluster) SetClockSkew(id topology.NodeID, skew time.Duration) bool {
+	c.mu.Lock()
+	sk, ok := c.skews[id]
+	c.mu.Unlock()
+	if ok {
+		sk.SetSkew(skew)
+	}
+	return ok
+}
+
+// MigrateSession moves a session to another data center: the session's
+// causal state (stable snapshot, last commit time, private write cache)
+// transfers into a fresh client homed in dc, and the old session closes.
+// The migrated session keeps reading its own writes and their causal
+// dependencies — the guarantees ride on the carried state, not on the
+// original coordinator. Fails if a transaction is open.
+func (c *Cluster) MigrateSession(s *Session, dc DCID) (*Session, error) {
+	h, err := s.c.Export()
+	if err != nil {
+		return nil, err
+	}
+	ns, err := c.NewSession(dc)
+	if err != nil {
+		return nil, err
+	}
+	if err := ns.c.Import(h); err != nil {
+		ns.Close()
+		return nil, err
+	}
+	s.Close()
+	return ns, nil
 }
 
 // Close stops every server and the network.
@@ -165,9 +286,13 @@ func (c *Cluster) Close() error {
 		return nil
 	}
 	c.closed = true
+	servers := make([]*server.Server, 0, len(c.servers))
+	for _, srv := range c.servers {
+		servers = append(servers, srv)
+	}
 	c.mu.Unlock()
 	var wg sync.WaitGroup
-	for _, srv := range c.servers {
+	for _, srv := range servers {
 		wg.Add(1)
 		go func(s *server.Server) {
 			defer wg.Done()
@@ -228,10 +353,18 @@ func (c *Cluster) newSessionOpts(dc DCID, seq int32, coord topology.PartitionID,
 	if c.cfg.Mode == ModeBlocking {
 		mode = client.ModeBlocking
 	}
+	// The client budget must cover a coordinator round trip that itself
+	// contains cohort calls: a commit spans a 2PC prepare (one CallTimeout to
+	// a dead cohort), a failover retry, and the commit fan-out, so the client
+	// deadline is a multiple of the per-cohort-call bound. Left unset, the
+	// client's own 60s default applies — which is how client stalls used to
+	// outlive a 400ms cluster timeout by two orders of magnitude.
+	clientTimeout := 4 * c.cfg.CallTimeout
 	cl, err := client.New(client.Config{
 		ID:           topology.ClientID(dc, seq),
 		Coordinator:  topology.ServerID(dc, coord),
 		Mode:         mode,
+		CallTimeout:  clientTimeout,
 		DisableCache: disableCache,
 		CacheBypass:  c.resolvers.cacheBypass,
 	})
@@ -253,7 +386,7 @@ func (c *Cluster) PartitionOf(key string) int { return int(c.topo.PartitionOf(ke
 // guaranteed visible everywhere.
 func (c *Cluster) MinUST() Timestamp {
 	low := hlc.MaxTimestamp
-	for _, s := range c.servers {
+	for _, s := range c.Servers() {
 		if ust := s.UST(); ust < low {
 			low = ust
 		}
