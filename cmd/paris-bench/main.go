@@ -55,7 +55,7 @@ var experiments = []struct {
 // seed in the TestNemesis_* suite, so `-experiment nemesis` with no flags
 // replays exactly the schedules those tests pin.
 var (
-	nemSeed     = flag.Int64("seed", 7, "nemesis: fault-schedule seed (same seed replays the same schedule)")
+	nemSeed     = flag.Int64("seed", 7, "nemesis: fault-schedule seed (same seed replays the same schedule; 0 draws a random seed and logs it — soak mode)")
 	nemScenario = flag.String("scenario", "", "nemesis: run only the named scenario (default: all)")
 	nemBPR      = flag.Bool("bpr", false, "nemesis: run scenarios against the blocking BPR baseline")
 )
@@ -77,6 +77,10 @@ func main() {
 			"replication batch max payload bytes (0 = default 1 MiB)")
 		connsPerPeer = flag.Int("conns-per-peer", 0,
 			"TCP stripes per server pair in the loopback TCP arms (0 = default 4)")
+		bandwidthBudget = flag.Int("bandwidth-budget", 0,
+			"replication bandwidth budget per peer in bytes/second (0 disables flow control)")
+		budgetBurst = flag.Int("budget-burst", 0,
+			"flow-control token bucket burst in bytes (0 = budget/4, floored at 4 KiB)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile   = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile at exit to this file")
@@ -130,13 +134,15 @@ func main() {
 	}
 
 	opts := bench.Options{
-		LatencyScale:  *scale,
-		Duration:      *duration,
-		Warmup:        *warmup,
-		BatchMaxItems: *batchItems,
-		BatchMaxBytes: *batchBytes,
-		ConnsPerPeer:  *connsPerPeer,
-		Out:           os.Stdout,
+		LatencyScale:    *scale,
+		Duration:        *duration,
+		Warmup:          *warmup,
+		BatchMaxItems:   *batchItems,
+		BatchMaxBytes:   *batchBytes,
+		ConnsPerPeer:    *connsPerPeer,
+		BandwidthBudget: *bandwidthBudget,
+		BudgetBurst:     *budgetBurst,
+		Out:             os.Stdout,
 	}
 	if *quick {
 		opts.Duration = 500 * time.Millisecond
@@ -315,8 +321,12 @@ func runHotpath(o bench.Options) (*bench.Report, error) {
 // scenario composes network/clock/crash faults over a running production-
 // shaped workload while internal/check validates the recorded history live.
 // Any violation or failed drain fails the experiment. -duration (or -quick)
-// shortens the fault phase; -seed N replays a specific schedule; -scenario
-// narrows the sweep to one scenario.
+// shortens — or for a soak lengthens — the fault phase; -seed N replays a
+// specific schedule, -seed 0 draws a fresh random one and logs it so a
+// failing soak run stays reproducible; -scenario narrows the sweep to one
+// scenario. A 30-second soak over fresh schedules:
+//
+//	paris-bench -experiment nemesis -seed 0 -duration 30s
 func runNemesis(o bench.Options) (*bench.Report, error) {
 	names := nemesis.Names()
 	if *nemScenario != "" {
@@ -324,6 +334,11 @@ func runNemesis(o bench.Options) (*bench.Report, error) {
 			return nil, fmt.Errorf("unknown scenario %q (have %v)", *nemScenario, nemesis.Names())
 		}
 		names = []string{*nemScenario}
+	}
+	seed := *nemSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()&0x7fffffff + 1
+		fmt.Printf("drew random seed %d (reproduce with -seed %d)\n", seed, seed)
 	}
 	mode := paris.ModeNonBlocking
 	if *nemBPR {
@@ -336,10 +351,12 @@ func runNemesis(o bench.Options) (*bench.Report, error) {
 	}
 	var failedScenarios []string
 	var violations, committed, migrations uint64
+	var flowMaxQueued int
+	var flowDegraded, flowShed, flowCoalesced uint64
 	for _, name := range names {
 		res, err := nemesis.Run(nemesis.Options{
 			Scenario: name,
-			Seed:     *nemSeed,
+			Seed:     seed,
 			Mode:     mode,
 			// o.Duration is zero unless -duration/-quick was given; zero keeps
 			// the nemesis default fault phase (1.2s).
@@ -363,14 +380,24 @@ func runNemesis(o bench.Options) (*bench.Report, error) {
 		violations += uint64(len(res.Violations))
 		committed += res.Committed
 		migrations += res.Migrations
+		if res.FlowMaxQueuedBytes > flowMaxQueued {
+			flowMaxQueued = res.FlowMaxQueuedBytes
+		}
+		flowDegraded += res.FlowDegradedEntries
+		flowShed += res.FlowShedRounds
+		flowCoalesced += res.FlowCoalesced
 	}
 	rep.Summary["scenarios"] = float64(len(names))
 	rep.Summary["committed"] = float64(committed)
 	rep.Summary["migrations"] = float64(migrations)
 	rep.Summary["violations"] = float64(violations)
+	rep.Summary["flow_max_queue_bytes"] = float64(flowMaxQueued)
+	rep.Summary["flow_degraded_entries"] = float64(flowDegraded)
+	rep.Summary["flow_shed_rounds"] = float64(flowShed)
+	rep.Summary["flow_coalesced"] = float64(flowCoalesced)
 	if len(failedScenarios) > 0 {
 		return rep, fmt.Errorf("%d scenario(s) failed: %s (reproduce with -experiment nemesis -seed %d -scenario <name>)",
-			len(failedScenarios), strings.Join(failedScenarios, ", "), *nemSeed)
+			len(failedScenarios), strings.Join(failedScenarios, ", "), seed)
 	}
 	return rep, nil
 }

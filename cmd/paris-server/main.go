@@ -58,6 +58,14 @@ func main() {
 			"parallel store-apply goroutines per ΔR round (0 = default min(GOMAXPROCS, 8), 1 = serial)")
 		connsPerPeer = flag.Int("conns-per-peer", 1,
 			"outbound TCP connections (stripes) per peer; casts keep one FIFO stripe, requests spread by id")
+		bandwidthBudget = flag.Int("bandwidth-budget", 0,
+			"replication bandwidth budget per peer in bytes/second (0 disables flow control)")
+		budgetBurst = flag.Int("budget-burst", 0,
+			"flow-control token bucket burst in bytes (0 = budget/4, floored at 4 KiB)")
+		flowHighWater = flag.Int("flow-high-water", 0,
+			"per-destination send-queue byte bound before degrading to summary mode (0 = default 4 MiB)")
+		flowLowWater = flag.Int("flow-low-water", 0,
+			"queue depth below which a degraded destination resumes (0 = high-water/4)")
 	)
 	flag.Parse()
 
@@ -94,6 +102,10 @@ func main() {
 		PreparedTTL:     *preparedTTL,
 		PrepareBatchMax: *prepBatchMax,
 		ApplyWorkers:    *applyWorkers,
+		BandwidthBudget: *bandwidthBudget,
+		BudgetBurst:     *budgetBurst,
+		FlowHighWater:   *flowHighWater,
+		FlowLowWater:    *flowLowWater,
 	})
 	if err != nil {
 		fatalf("%v", err)

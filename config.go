@@ -55,6 +55,24 @@ type Config struct {
 	// BatchMaxBytes caps the approximate encoded payload bytes per
 	// replication batch chunk. 0 selects the default (1 MiB).
 	BatchMaxBytes int
+	// BandwidthBudget, when positive, enables per-destination replication
+	// flow control on every server: outbound replication traffic toward
+	// each peer replica is paced to this many bytes/second by a token
+	// bucket, send queues are bounded by FlowHighWater, and a destination
+	// whose queue crosses the bound degrades to summary/heartbeat-only mode
+	// (its receiver's version-vector entry stops advancing — UST-safe)
+	// until the queue drains below FlowLowWater. 0 disables flow control.
+	BandwidthBudget int
+	// BudgetBurst is the flow-control token bucket's burst capacity in
+	// bytes. 0 selects BandwidthBudget/4, floored at 4 KiB.
+	BudgetBurst int
+	// FlowHighWater bounds the bytes queued toward one replication
+	// destination before the sender degrades. 0 selects the default
+	// (4 MiB). Keep it a few multiples of BatchMaxBytes.
+	FlowHighWater int
+	// FlowLowWater is the queue depth below which a degraded destination
+	// resumes normal sends. 0 selects FlowHighWater/4.
+	FlowLowWater int
 	// GossipInterval is ΔG, the stabilization gossip cadence. Default
 	// like ApplyInterval.
 	GossipInterval time.Duration

@@ -1,0 +1,141 @@
+package paris
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/paris-kv/paris/internal/transport"
+)
+
+// Flow-control sizing for the backpressure stress: a budget far below the
+// offered write volume so every destination's pump saturates, with the
+// chunk cap well under the high water so single rounds always admit.
+const (
+	testFlowBudget    = 2 << 10
+	testFlowHighWater = 8 << 10
+	testFlowLowWater  = 2 << 10
+	testFlowBatchMax  = 2 << 10
+)
+
+// TestFlowControlBackpressureBound is the -race backpressure stress: writers
+// hammer kilobyte values at a replication plane budgeted to a fraction of
+// the offered load, with a bandwidth-constrained MemNet link underneath one
+// replication direction. The per-destination send-queue byte bound must hold
+// on every server for the whole run — that is the sender-memory guarantee
+// flow control exists for — and once the throttle opens the cluster must
+// converge to a universally stable probe.
+func TestFlowControlBackpressureBound(t *testing.T) {
+	cfg := testConfig()
+	cfg.BandwidthBudget = testFlowBudget
+	cfg.FlowHighWater = testFlowHighWater
+	cfg.FlowLowWater = testFlowLowWater
+	cfg.BatchMaxBytes = testFlowBatchMax
+	c := newTestCluster(t, cfg)
+
+	// One WAN-constrained replication direction on top of the budget: DC0's
+	// servers reach DC1's at a tenth of the budget, plus added latency.
+	slow := transport.FaultSlowLink{Rate: testFlowBudget / 10, Delay: 2 * time.Millisecond}
+	for _, x := range c.Topology().AllServers() {
+		for _, y := range c.Topology().AllServers() {
+			if x.DC == 0 && y.DC == 1 {
+				c.Net().SetLinkSlow(x, y, slow)
+			}
+		}
+	}
+
+	writeFor := 800 * time.Millisecond
+	if testing.Short() {
+		writeFor = 300 * time.Millisecond
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	val := make([]byte, 1024)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess, err := c.NewSession(DCID(w % 3))
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			defer sess.Close()
+			ctx := context.Background()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := sess.Put(ctx, map[string][]byte{
+					fmt.Sprintf("flow-%d-%d", w, i): val,
+				}); err != nil {
+					sess.Client().Abandon()
+				}
+			}
+		}(w)
+	}
+	time.Sleep(writeFor)
+	close(stop)
+	wg.Wait()
+
+	// The hard invariant: no destination's queue ever crossed the high
+	// water, on any server, at any point — checked against the lifetime max,
+	// not a lucky snapshot.
+	var maxQueued int
+	var degraded, coalesced uint64
+	for _, srv := range c.Servers() {
+		for _, st := range srv.FlowStats() {
+			if st.MaxQueuedBytes > testFlowHighWater {
+				t.Errorf("server %v -> %v queued %d bytes, above high water %d",
+					srv.ID(), st.Dest, st.MaxQueuedBytes, testFlowHighWater)
+			}
+			if st.MaxQueuedBytes > maxQueued {
+				maxQueued = st.MaxQueuedBytes
+			}
+			degraded += st.DegradedEntries
+			coalesced += st.Coalesced
+		}
+	}
+	if maxQueued == 0 {
+		t.Fatal("no bytes ever queued — flow control was not in the path")
+	}
+	if degraded == 0 {
+		t.Error("no destination degraded — the budget never saturated")
+	}
+	if coalesced == 0 {
+		t.Error("no rounds coalesced under pressure")
+	}
+	t.Logf("flow: maxQueued=%dB degradedEntries=%d coalesced=%d", maxQueued, degraded, coalesced)
+
+	// Open the throttle and heal the link: the backlog plus every shed
+	// window's repair must drain to a universally stable probe.
+	c.Net().ClearSlowLinks()
+	c.SetFlowBudget(8<<20, 0)
+	sess, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ct, err := sess.Put(context.Background(), map[string][]byte{"flow-probe": []byte("x")})
+	if err != nil {
+		t.Fatalf("probe write: %v", err)
+	}
+	if !c.WaitForUST(ct, 10*time.Second) {
+		t.Fatal("probe never became universally stable after opening the throttle")
+	}
+}
+
+// TestFlowControlDisabledByDefault: without a budget the pumps do not exist
+// and replication takes the direct path.
+func TestFlowControlDisabledByDefault(t *testing.T) {
+	c := newTestCluster(t, testConfig())
+	for _, srv := range c.Servers() {
+		if st := srv.FlowStats(); st != nil {
+			t.Fatalf("server %v has flow stats %v without a budget", srv.ID(), st)
+		}
+	}
+}

@@ -30,6 +30,11 @@ type Options struct {
 	// negative BatchMaxItems disables batching).
 	BatchMaxItems int
 	BatchMaxBytes int
+	// BandwidthBudget and BudgetBurst enable replication flow control on
+	// every cluster the experiments build (0 = disabled; see
+	// paris.Config.BandwidthBudget).
+	BandwidthBudget int
+	BudgetBurst     int
 	// ConnsPerPeer is the TCP stripe count per server pair in the loopback
 	// TCP arms (0 = default 4, 1 = single connection).
 	ConnsPerPeer int
@@ -78,6 +83,8 @@ func paperCluster(o Options, mode paris.Mode, visSample int) (*paris.Cluster, er
 	cfg.VisibilitySample = visSample
 	cfg.BatchMaxItems = o.BatchMaxItems
 	cfg.BatchMaxBytes = o.BatchMaxBytes
+	cfg.BandwidthBudget = o.BandwidthBudget
+	cfg.BudgetBurst = o.BudgetBurst
 	return paris.NewCluster(cfg)
 }
 

@@ -67,6 +67,17 @@ type Result struct {
 	Drained    bool   // probe write became universally stable after healing
 	Violations []check.Violation
 	Events     []string // timed fault-schedule log
+
+	// Flow-control aggregates over every server's replication destinations
+	// (zero unless the scenario sets Config.BandwidthBudget). The max is the
+	// largest per-destination send queue observed anywhere for the whole run
+	// — the sender-side memory bound; the counters are cluster-wide sums.
+	FlowMaxQueuedBytes  int
+	FlowDegradedEntries uint64
+	FlowDegradedExits   uint64
+	FlowShedRounds      uint64
+	FlowCoalesced       uint64
+	FlowThrottledFor    time.Duration
 }
 
 // Ok reports whether the run passed: a fully drained cluster and zero
@@ -347,6 +358,20 @@ func (r *runner) run() (*Result, error) {
 	}
 	res.Checks++
 
+	// Flow-control aggregates, collected while the cluster is still open.
+	for _, srv := range r.cluster.Servers() {
+		for _, st := range srv.FlowStats() {
+			if st.MaxQueuedBytes > res.FlowMaxQueuedBytes {
+				res.FlowMaxQueuedBytes = st.MaxQueuedBytes
+			}
+			res.FlowDegradedEntries += st.DegradedEntries
+			res.FlowDegradedExits += st.DegradedExits
+			res.FlowShedRounds += st.ShedRounds
+			res.FlowCoalesced += st.Coalesced
+			res.FlowThrottledFor += st.ThrottledFor
+		}
+	}
+
 	res.Committed = r.committed.Load()
 	res.Failed = r.failed.Load()
 	res.Migrations = r.migrations.Load()
@@ -359,7 +384,8 @@ func (r *runner) run() (*Result, error) {
 }
 
 // healAll clears every fault the scenario may have left behind: DC
-// partitions, node faults, directed link faults, and crashed servers.
+// partitions, node faults, directed link faults, slow links, and crashed
+// servers.
 func (r *runner) healAll() {
 	net := r.cluster.Net()
 	numDCs := r.topo.NumDCs()
@@ -379,6 +405,7 @@ func (r *runner) healAll() {
 			}
 		}
 	}
+	net.ClearSlowLinks()
 	r.mu.Lock()
 	down := make([]topology.NodeID, 0, len(r.down))
 	for id := range r.down {

@@ -12,7 +12,7 @@ import (
 // below pins one composed-fault schedule that once surfaced (or guards
 // against) a failure-path bug; reproduce outside the test suite with
 // `paris-bench -experiment nemesis -seed 7`.
-func runScenario(t *testing.T, name string, mode paris.Mode) {
+func runScenario(t *testing.T, name string, mode paris.Mode) *Result {
 	t.Helper()
 	opts := Options{
 		Scenario:   name,
@@ -42,6 +42,7 @@ func runScenario(t *testing.T, name string, mode paris.Mode) {
 	if res.Committed == 0 {
 		t.Errorf("no transactions committed — the workload never made progress")
 	}
+	return res
 }
 
 func TestNemesis_PartitionBlackhole(t *testing.T) {
@@ -66,6 +67,41 @@ func TestNemesis_MigrationStorm(t *testing.T) {
 
 func TestNemesis_FlappingLinksLargeValues(t *testing.T) {
 	runScenario(t, "flapping_links_large_values", paris.ModeNonBlocking)
+}
+
+// TestNemesis_SlowLinkDegradation pins the flow-control scenario: a
+// bandwidth-constrained WAN link under a byte-budgeted replication plane.
+// Beyond the usual drain + zero-violation bar it asserts the flow-control
+// guarantees end to end: at least one destination entered degraded
+// (summary-only) mode, the per-destination send-queue byte bound held on
+// every server for the whole run, rounds were coalesced and shed under
+// pressure, and every degraded destination converged after healing — the
+// drain's universally-stable probe cannot pass while any receiver's version
+// vector is still frozen on an unrepaired shed window.
+func TestNemesis_SlowLinkDegradation(t *testing.T) {
+	res := runScenario(t, "slow_link_degradation", paris.ModeNonBlocking)
+	if res.FlowDegradedEntries == 0 {
+		t.Errorf("no destination ever degraded — the budget never saturated")
+	}
+	if res.FlowDegradedExits == 0 {
+		t.Errorf("no degraded destination resumed after healing")
+	}
+	if res.FlowShedRounds == 0 {
+		t.Errorf("no rounds shed — degraded mode never engaged its summary path")
+	}
+	if res.FlowCoalesced == 0 {
+		t.Errorf("no rounds coalesced under pressure")
+	}
+	if res.FlowMaxQueuedBytes > SlowLinkHighWater {
+		t.Errorf("sender queue reached %d bytes, above the %d high-water bound",
+			res.FlowMaxQueuedBytes, SlowLinkHighWater)
+	}
+	if res.FlowMaxQueuedBytes == 0 {
+		t.Errorf("no bytes ever queued — flow control was not active")
+	}
+	t.Logf("flow: maxQueued=%dB degraded=%d/%d shed=%d coalesced=%d throttled=%v",
+		res.FlowMaxQueuedBytes, res.FlowDegradedEntries, res.FlowDegradedExits,
+		res.FlowShedRounds, res.FlowCoalesced, res.FlowThrottledFor)
 }
 
 // TestNemesis_CrashRestartBPR runs the crash/restart composition against the

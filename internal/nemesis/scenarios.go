@@ -4,9 +4,37 @@ import (
 	"time"
 
 	"github.com/paris-kv/paris"
+	"github.com/paris-kv/paris/internal/topology"
 	"github.com/paris-kv/paris/internal/transport"
 	"github.com/paris-kv/paris/internal/workload"
 )
+
+// Sizing for the slow_link_degradation scenario, exported so the pinned
+// regression test asserts the sender-side memory bound against the same
+// water marks the scenario configures. The budget is tiny relative to the
+// LargeValues write volume so every destination's queue fills and degrades
+// deterministically even in a -short fault phase, and the chunk cap stays
+// well under the high water so a single round always fits once a queue
+// drains (no shed/resume flapping without progress).
+const (
+	SlowLinkBudget    = 2 << 10 // replication bytes/second per destination
+	SlowLinkHighWater = 8 << 10 // per-destination send-queue bound (bytes)
+	SlowLinkLowWater  = 2 << 10 // queue depth at which a degraded destination resumes
+	SlowLinkBatchMax  = 2 << 10 // replication chunk cap (bytes)
+)
+
+// setDCPairSlow applies (or with the zero value clears) a slow-link fault on
+// every directed link between two data centers — one constrained WAN pipe.
+func setDCPairSlow(e *Env, a, b topology.DCID, f transport.FaultSlowLink) {
+	net := e.Cluster.Net()
+	for _, x := range e.Topo.AllServers() {
+		for _, y := range e.Topo.AllServers() {
+			if (x.DC == a && y.DC == b) || (x.DC == b && y.DC == a) {
+				net.SetLinkSlow(x, y, f)
+			}
+		}
+	}
+}
 
 // scenarios is the named suite. Each entry composes at least two fault
 // primitives; the suite as a whole covers every primitive the network
@@ -171,6 +199,48 @@ var scenarios = []Scenario{
 				e.Cluster.Net().IsolateDC(dc, false, numDCs)
 				e.Logf("heal %v<->%v + DC%d", x, y, dc)
 				if !e.Sleep(e.Jitter(30 * time.Millisecond)) {
+					return
+				}
+			}
+		},
+	},
+	{
+		Name: "slow_link_degradation",
+		Info: "a bandwidth-constrained WAN link under a byte-budgeted replication plane: senders coalesce, degrade, shed, and repair after healing",
+		Mix:  workload.LargeValues,
+		Configure: func(cfg *paris.Config) {
+			// A budget far below the LargeValues write volume: every
+			// destination's pump saturates, queues coalesce up to the high
+			// water, and degraded (summary-only) mode engages.
+			cfg.BandwidthBudget = SlowLinkBudget
+			cfg.FlowHighWater = SlowLinkHighWater
+			cfg.FlowLowWater = SlowLinkLowWater
+			cfg.BatchMaxBytes = SlowLinkBatchMax
+		},
+		Script: func(e *Env) {
+			net := e.Cluster.Net()
+			// On exit, clear the WAN fault and raise every server's budget
+			// so the queued backlog and the shed-window repairs drain fast:
+			// the heal phase then has to prove convergence, while the
+			// high-water bound observed during the fault phase stands.
+			defer func() {
+				net.ClearSlowLinks()
+				e.Cluster.SetFlowBudget(8<<20, 0)
+				e.Logf("cleared slow links, raised flow budget for drain")
+			}()
+			// One DC pair keeps a flapping, 10x-under-budget WAN pipe; the
+			// token buckets everywhere else still pace to the tiny budget.
+			a, b := e.RandDCPair()
+			slow := transport.FaultSlowLink{Rate: SlowLinkBudget / 10, Delay: 5 * time.Millisecond}
+			for {
+				setDCPairSlow(e, a, b, slow)
+				e.Logf("slow link DC%d<->DC%d (%dB/s +%v)", a, b, slow.Rate, slow.Delay)
+				if !e.Sleep(e.Jitter(150 * time.Millisecond)) {
+					return
+				}
+				setDCPairSlow(e, a, b, transport.FaultSlowLink{})
+				e.Logf("heal slow DC%d<->DC%d", a, b)
+				if !e.Sleep(e.Jitter(50 * time.Millisecond)) {
 					return
 				}
 			}

@@ -107,19 +107,31 @@ func (s *Server) applyTick() {
 		// destination — one wire write per peer per ΔR instead of one per
 		// commit timestamp.
 		chunks := buildReplicateBatches(s.self.DC, ready, ub, s.cfg.BatchMaxItems, s.cfg.BatchMaxBytes)
-		out := make([]wire.Message, len(chunks))
-		for _, peer := range peers {
-			// Answer any pending repair request from this peer's DC first:
-			// the response names the sequence the stream resumes at, and on
-			// the FIFO link it precedes the chunk carrying that sequence.
-			s.maybeReplSync(peer, ub)
-			for i, c := range chunks {
-				b := c.(wire.ReplicateBatch)
-				s.replSeq[peer]++
-				b.Epoch, b.Seq = s.replEpoch, s.replSeq[peer]
-				out[i] = b
+		if s.flow != nil {
+			// Flow-controlled path: hand the round to each destination's
+			// pump, which owns sequencing, pacing, coalescing and repair
+			// service for that peer (flowpump.go).
+			for _, peer := range peers {
+				if p := s.flow.pumps[peer]; p != nil {
+					p.submit(chunks, ub)
+				}
 			}
-			_ = s.peer.CastBatch(peer, out)
+		} else {
+			out := make([]wire.Message, len(chunks))
+			for _, peer := range peers {
+				// Answer any pending repair request from this peer's DC
+				// first: the response names the sequence the stream resumes
+				// at, and on the FIFO link it precedes the chunk carrying
+				// that sequence.
+				s.maybeReplSync(peer, ub)
+				for i, c := range chunks {
+					b := c.(wire.ReplicateBatch)
+					s.replSeq[peer]++
+					b.Epoch, b.Seq = s.replEpoch, s.replSeq[peer]
+					out[i] = b
+				}
+				_ = s.peer.CastBatch(peer, out)
+			}
 		}
 		if len(ready) > 0 {
 			s.metrics.txApplied.Add(uint64(len(ready)))

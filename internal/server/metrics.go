@@ -34,6 +34,15 @@ type Metrics struct {
 	replSyncServed   atomic.Uint64
 	replSyncApplied  atomic.Uint64
 
+	// Replication flow control (flowpump.go), aggregated over destinations.
+	flowThrottledNs     atomic.Uint64
+	flowCoalesced       atomic.Uint64
+	flowShedRounds      atomic.Uint64
+	flowDegradedEntries atomic.Uint64
+	flowDegradedExits   atomic.Uint64
+	flowStatusSent      atomic.Uint64
+	replStatusRecv      atomic.Uint64
+
 	blockMu    sync.Mutex
 	blockCount uint64
 	blockFree  uint64
@@ -85,6 +94,14 @@ type MetricsSnapshot struct {
 	ReplSyncRequested uint64 // repair requests cast after replication-stream loss
 	ReplSyncServed    uint64 // store-backed repair responses served (sender role)
 	ReplSyncApplied   uint64 // repair responses installed (receiver role)
+
+	FlowThrottledFor    time.Duration // cumulative token-bucket pacing delay (all destinations)
+	FlowCoalesced       uint64        // ΔR rounds merged into an already-queued entry
+	FlowShedRounds      uint64        // ΔR rounds shed in degraded mode
+	FlowDegradedEntries uint64        // destinations crossing the high-water mark
+	FlowDegradedExits   uint64        // destinations resuming below the low-water mark
+	FlowStatusSent      uint64        // ReplStatus summaries cast (sender role)
+	ReplStatusReceived  uint64        // ReplStatus summaries received
 }
 
 // Metrics returns a snapshot of the server's counters.
@@ -124,5 +141,13 @@ func (s *Server) Metrics() MetricsSnapshot {
 		ReplSyncRequested: s.metrics.replSyncReq.Load(),
 		ReplSyncServed:    s.metrics.replSyncServed.Load(),
 		ReplSyncApplied:   s.metrics.replSyncApplied.Load(),
+
+		FlowThrottledFor:    time.Duration(s.metrics.flowThrottledNs.Load()),
+		FlowCoalesced:       s.metrics.flowCoalesced.Load(),
+		FlowShedRounds:      s.metrics.flowShedRounds.Load(),
+		FlowDegradedEntries: s.metrics.flowDegradedEntries.Load(),
+		FlowDegradedExits:   s.metrics.flowDegradedExits.Load(),
+		FlowStatusSent:      s.metrics.flowStatusSent.Load(),
+		ReplStatusReceived:  s.metrics.replStatusRecv.Load(),
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math/rand"
 	"sync"
 	"time"
 
@@ -8,6 +9,11 @@ import (
 	"github.com/paris-kv/paris/internal/topology"
 	"github.com/paris-kv/paris/internal/wire"
 )
+
+// replSyncBackoffCap bounds the ReplSyncReq retry backoff: long enough to
+// stop hammering a degraded sender, short enough that a lost repair
+// response never freezes a stream for more than a couple of seconds.
+const replSyncBackoffCap = 2 * time.Second
 
 // Replication-stream repair.
 //
@@ -51,7 +57,12 @@ type replInStream struct {
 	epoch   uint64
 	nextSeq uint64
 	syncing bool
-	lastReq time.Time
+	// Re-request pacing: exponential backoff with jitter. A fixed retick
+	// would hammer a still-degraded or bandwidth-starved sender in
+	// lockstep with every other frozen receiver; backoff spreads the
+	// retries out and jitter desynchronizes them.
+	backoff time.Duration
+	nextReq time.Time
 }
 
 // replInAccept decides whether a replication chunk is the next in-order
@@ -81,10 +92,19 @@ func (s *Server) replInAccept(m wire.ReplicateBatch) bool {
 		return true
 	}
 	now := time.Now()
-	sendReq := !st.syncing || now.Sub(st.lastReq) >= s.replSyncRetry
-	if sendReq {
+	if !st.syncing {
 		st.syncing = true
-		st.lastReq = now
+		st.backoff = s.replSyncRetry
+		st.nextReq = now // first request fires immediately
+	}
+	sendReq := !now.Before(st.nextReq)
+	if sendReq {
+		// Schedule the next retry at backoff/2 + uniform(0, backoff) from
+		// now, then double the backoff up to the cap.
+		st.nextReq = now.Add(st.backoff/2 + time.Duration(rand.Int63n(int64(st.backoff))))
+		if st.backoff < replSyncBackoffCap {
+			st.backoff *= 2
+		}
 	}
 	st.mu.Unlock()
 	if sendReq {
@@ -104,6 +124,15 @@ func (s *Server) replInAccept(m wire.ReplicateBatch) bool {
 // known sequence position. Concurrent requests from the same DC keep the
 // most conservative watermark.
 func (s *Server) handleReplSyncReq(m wire.ReplSyncReq) {
+	if s.flow != nil {
+		// Flow-controlled path: the destination's pump owns the stream
+		// position and serves the repair itself, budget-paced and
+		// prioritized below fresh rounds (with anti-starvation aging).
+		if p := s.flow.pumpFor(m.ReqDC); p != nil {
+			p.requestRepair(m.FromTS)
+		}
+		return
+	}
 	s.syncMu.Lock()
 	if cur, ok := s.syncReqs[m.ReqDC]; !ok || m.FromTS < cur {
 		s.syncReqs[m.ReqDC] = m.FromTS

@@ -82,6 +82,27 @@ type Config struct {
 	// 0 selects the default (1 MiB). A single group larger than either cap
 	// still travels whole: caps split rounds, never transactions.
 	BatchMaxBytes int
+	// BandwidthBudget, when positive, enables per-destination replication
+	// flow control (flowpump.go): outbound ReplicateBatch/ReplSyncResp
+	// traffic toward each peer replica is paced to this many bytes/second
+	// by a token bucket, the send queue is bounded by FlowHighWater, and a
+	// destination whose queue crosses the bound degrades to
+	// summary/heartbeat-only mode until it drains below FlowLowWater.
+	// 0 disables flow control entirely (unbounded fire-and-forget sends).
+	// Only effective on the batched pipeline (BatchMaxItems >= 0).
+	BandwidthBudget int
+	// BudgetBurst is the token bucket's burst capacity in bytes.
+	// 0 selects BandwidthBudget/4, floored at 4 KiB.
+	BudgetBurst int
+	// FlowHighWater bounds the bytes queued (including in flight) toward
+	// one destination; a round that would cross it is shed instead
+	// (degraded mode). 0 selects the default (4 MiB). Keep it a few
+	// multiples of BatchMaxBytes: a single chunk larger than the bound can
+	// never be admitted.
+	FlowHighWater int
+	// FlowLowWater is the queue depth below which a degraded destination
+	// resumes normal sends. 0 selects FlowHighWater/4.
+	FlowLowWater int
 	// PrepareBatchMax caps how many concurrent outbound 2PC prepares to one
 	// destination cohort are coalesced into a single PrepareBatch wire
 	// message (group commit for the prepare fan-out, amortizing per-message
@@ -164,6 +185,8 @@ const (
 	defaultBatchMaxBytes   = 1 << 20
 	defaultPrepareBatchMax = 32
 	maxDefaultApplyWorkers = 8
+	defaultFlowHighWater   = 4 << 20
+	minDefaultBudgetBurst  = 4 << 10
 )
 
 func (c *Config) withDefaults() (Config, error) {
@@ -198,6 +221,17 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.PrepareBatchMax == 0 {
 		cfg.PrepareBatchMax = defaultPrepareBatchMax
+	}
+	if cfg.BandwidthBudget > 0 {
+		if cfg.BudgetBurst <= 0 {
+			cfg.BudgetBurst = max(cfg.BandwidthBudget/4, minDefaultBudgetBurst)
+		}
+		if cfg.FlowHighWater <= 0 {
+			cfg.FlowHighWater = defaultFlowHighWater
+		}
+		if cfg.FlowLowWater <= 0 {
+			cfg.FlowLowWater = cfg.FlowHighWater / 4
+		}
 	}
 	if cfg.ApplyWorkers == 0 {
 		cfg.ApplyWorkers = runtime.GOMAXPROCS(0)
@@ -359,6 +393,10 @@ type Server struct {
 	replIn        []replInStream
 	replSyncRetry time.Duration
 
+	// flow is the replication flow-control layer (flowpump.go); nil when
+	// Config.BandwidthBudget is 0 or the pipeline is unbatched.
+	flow *flowControl
+
 	// recovered2PC is set when Config.Recovered2PC seeded prepared entries;
 	// Start then kicks an immediate reaper sweep so the recovered entries'
 	// decision queries fire right away instead of waiting out a TTL.
@@ -420,6 +458,9 @@ func New(cfg Config) (*Server, error) {
 	if full.Recovered2PC != nil {
 		s.importTwoPC(full.Recovered2PC)
 	}
+	if full.BandwidthBudget > 0 && full.BatchMaxItems >= 0 {
+		s.flow = newFlowControl(s)
+	}
 	s.peer = transport.NewPeer(full.ID, s)
 	return s, nil
 }
@@ -441,6 +482,9 @@ func (s *Server) Start() {
 	s.startOnce.Do(func() {
 		if s.cfg.RecoveryHold > 0 {
 			s.holdUntil = time.Now().Add(s.cfg.RecoveryHold)
+		}
+		if s.flow != nil {
+			s.flow.start()
 		}
 		s.runLoop(s.cfg.ApplyInterval, s.applyTick)
 		s.runLoop(s.cfg.GossipInterval, s.stab.gossipTick)
@@ -573,6 +617,8 @@ func (s *Server) HandleCast(from topology.NodeID, msg wire.Message) {
 		s.handleReplSyncReq(m)
 	case wire.ReplSyncResp:
 		s.handleReplSyncResp(m)
+	case wire.ReplStatus:
+		s.handleReplStatus(m)
 	case wire.FinishTx:
 		s.handleFinishTx(m)
 	case wire.GSTUp:

@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket paces a byte stream to a configured bandwidth budget.
+//
+// The bucket refills at Rate bytes/second up to Burst bytes. Take debits
+// the bucket and returns how long the caller must wait before the debited
+// bytes conform to the budget. The bucket allows its balance to go
+// negative (a single oversized message is never rejected outright — it
+// just pushes the next send further into the future), which keeps the
+// long-run rate exact without forcing callers to fragment messages.
+//
+// A Rate <= 0 disables pacing entirely: Take always returns 0.
+//
+// TokenBucket is safe for concurrent use, though the replication pump
+// drives each instance from a single goroutine.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second; <= 0 disables
+	burst  float64 // max positive balance, bytes
+	tokens float64 // current balance, may be negative
+	last   time.Time
+	gen    uint64 // bumped by SetRate; lets sleeping pacers notice a reconfigure
+}
+
+// NewTokenBucket returns a bucket refilling at rate bytes/second with the
+// given burst capacity. The bucket starts full. A non-positive rate
+// disables pacing; a non-positive burst is clamped to the rate (one
+// second of budget) so a configured budget always admits some traffic.
+func NewTokenBucket(rate, burst int) *TokenBucket {
+	b := &TokenBucket{}
+	b.SetRate(rate, burst)
+	return b
+}
+
+// SetRate reconfigures the budget at runtime. The balance resets to the
+// new burst so the change takes effect immediately: raising the budget
+// clears accumulated debt (the heal path relies on this to drain a
+// backlog fast), lowering it starts from the smaller burst.
+func (b *TokenBucket) SetRate(rate, burst int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rate = float64(rate)
+	b.burst = float64(burst)
+	if b.burst <= 0 {
+		b.burst = b.rate
+	}
+	b.tokens = b.burst
+	b.last = time.Now()
+	b.gen++
+}
+
+// Gen returns the bucket's configuration generation. It changes on every
+// SetRate, so a caller sleeping out a Take delay can poll it and cut the
+// sleep short when the budget is reconfigured (the delay it was serving was
+// computed against a rate that no longer exists).
+func (b *TokenBucket) Gen() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.gen
+}
+
+// Rate returns the configured rate in bytes/second (0 if disabled).
+func (b *TokenBucket) Rate() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate <= 0 {
+		return 0
+	}
+	return int(b.rate)
+}
+
+// Take debits n bytes and returns how long the caller should sleep before
+// sending them. A zero return means the send conforms immediately.
+func (b *TokenBucket) Take(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate <= 0 {
+		return 0
+	}
+	b.refillLocked(time.Now())
+	b.tokens -= float64(n)
+	if b.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-b.tokens / b.rate * float64(time.Second))
+}
+
+func (b *TokenBucket) refillLocked(now time.Time) {
+	if b.last.IsZero() {
+		b.last = now
+		b.tokens = b.burst
+		return
+	}
+	elapsed := now.Sub(b.last)
+	if elapsed <= 0 {
+		return
+	}
+	b.last = now
+	if b.rate <= 0 {
+		return
+	}
+	b.tokens += elapsed.Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}

@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTokenBucketBurst: a fresh bucket admits up to burst bytes with no
+// delay, and the first byte past the burst pays for itself at the rate.
+func TestTokenBucketBurst(t *testing.T) {
+	b := NewTokenBucket(1000, 4000)
+	if d := b.Take(4000); d != 0 {
+		t.Fatalf("burst-sized take delayed by %v, want 0", d)
+	}
+	// Bucket is now empty; the next 1000 bytes cost ~1s.
+	d := b.Take(1000)
+	if d < 700*time.Millisecond || d > 1300*time.Millisecond {
+		t.Fatalf("post-burst take delayed by %v, want ~1s", d)
+	}
+}
+
+// TestTokenBucketRateConformance: after debiting N bytes back-to-back, the
+// final take's delay says the whole backlog conforms at bytes/rate — the
+// bucket's debt accumulates across takes instead of resetting.
+func TestTokenBucketRateConformance(t *testing.T) {
+	const rate = 1 << 20 // 1 MiB/s
+	b := NewTokenBucket(rate, 1024)
+	b.Take(1024) // drain the burst
+	var last time.Duration
+	const n, size = 64, 16 << 10
+	for i := 0; i < n; i++ {
+		last = b.Take(size)
+	}
+	want := time.Duration(float64(n*size) / rate * float64(time.Second))
+	// The loop runs in real time, so elapsed wall clock refills the bucket
+	// a little; accept a generous band around the ideal.
+	if last < want/2 || last > want*3/2 {
+		t.Fatalf("final delay %v after %d bytes at %d B/s, want ~%v", last, n*size, rate, want)
+	}
+}
+
+// TestTokenBucketZeroBudgetDisables: rate <= 0 means no pacing at all.
+func TestTokenBucketZeroBudgetDisables(t *testing.T) {
+	for _, rate := range []int{0, -5} {
+		b := NewTokenBucket(rate, 0)
+		for i := 0; i < 100; i++ {
+			if d := b.Take(1 << 20); d != 0 {
+				t.Fatalf("rate=%d: take delayed by %v, want 0", rate, d)
+			}
+		}
+	}
+}
+
+// TestTokenBucketNegativeBalance: one oversized message is admitted but
+// pushes subsequent sends out proportionally.
+func TestTokenBucketNegativeBalance(t *testing.T) {
+	b := NewTokenBucket(1000, 1000)
+	d1 := b.Take(5000) // 4000 over budget -> ~4s
+	if d1 < 3*time.Second {
+		t.Fatalf("oversized take delayed by %v, want >= 3s", d1)
+	}
+	d2 := b.Take(1000)
+	if d2 <= d1 {
+		t.Fatalf("follow-up take delayed by %v, want > %v (debt accumulates)", d2, d1)
+	}
+}
+
+// TestTokenBucketSetRate: raising the budget at runtime takes effect for
+// subsequent takes; disabling clears pacing.
+func TestTokenBucketSetRate(t *testing.T) {
+	b := NewTokenBucket(100, 100)
+	b.Take(100) // drain
+	if d := b.Take(1000); d < time.Second {
+		t.Fatalf("constrained take delayed by %v, want >= 1s", d)
+	}
+	b.SetRate(1<<30, 1<<30) // effectively unlimited, refilled burst
+	if d := b.Take(1 << 20); d != 0 {
+		t.Fatalf("after raise, take delayed by %v, want 0", d)
+	}
+	b.SetRate(0, 0)
+	if d := b.Take(1 << 30); d != 0 {
+		t.Fatalf("after disable, take delayed by %v, want 0", d)
+	}
+}
+
+// TestTokenBucketBurstClamp: non-positive burst is clamped to one second
+// of budget, so a configured rate always admits traffic.
+func TestTokenBucketBurstClamp(t *testing.T) {
+	b := NewTokenBucket(500, 0)
+	if d := b.Take(500); d != 0 {
+		t.Fatalf("take within clamped burst delayed by %v, want 0", d)
+	}
+}

@@ -36,6 +36,8 @@ type MemNet struct {
 	faultMu    sync.Mutex
 	linkFaults map[linkKey]LinkFault
 	nodeFaults map[topology.NodeID]LinkFault
+	slowLinks  map[linkKey]FaultSlowLink
+	slowCount  atomic.Int32 // len(slowLinks); lets push skip faultMu when 0
 
 	sent        atomic.Uint64
 	batches     atomic.Uint64
@@ -59,6 +61,19 @@ const (
 
 // ErrLinkDown reports a send refused by an injected FaultError.
 var ErrLinkDown = errors.New("transport: link down (injected fault)")
+
+// FaultSlowLink is the slow-link fault primitive: rather than dropping or
+// refusing traffic it models a bandwidth-constrained WAN path. Rate is the
+// link's serialization bandwidth in bytes/second — each envelope occupies
+// the wire for size/Rate, and envelopes queue behind each other exactly as
+// on a saturated uplink — and Delay is added propagation latency on top of
+// the link's base latency. The zero value means unconstrained.
+type FaultSlowLink struct {
+	Rate  int
+	Delay time.Duration
+}
+
+func (f FaultSlowLink) isZero() bool { return f.Rate <= 0 && f.Delay <= 0 }
 
 type (
 	linkKey struct{ from, to topology.NodeID }
@@ -85,6 +100,7 @@ func NewMemNet(latency LatencyModel) *MemNet {
 		blocked:    make(map[dcPair]bool),
 		linkFaults: make(map[linkKey]LinkFault),
 		nodeFaults: make(map[topology.NodeID]LinkFault),
+		slowLinks:  make(map[linkKey]FaultSlowLink),
 		byKind:     make(map[wire.Kind]uint64),
 	}
 	n.healed = sync.NewCond(&n.mu)
@@ -182,6 +198,76 @@ func (n *MemNet) SetNodeFault(node topology.NodeID, f LinkFault) {
 		n.nodeFaults[node] = f
 	}
 	n.faultMu.Unlock()
+}
+
+// SetLinkSlow injects (or with the zero value clears) a slow-link fault on
+// the directed link from→to. Unlike SetLinkFault, traffic still flows — it
+// is just paced to the configured bandwidth and delayed. Clearing the fault
+// heals the link the way SetPartitioned does: the serialization backlog is
+// released and delivers at base latency, order preserved.
+func (n *MemNet) SetLinkSlow(from, to topology.NodeID, f FaultSlowLink) {
+	key := linkKey{from: from, to: to}
+	n.faultMu.Lock()
+	if f.isZero() {
+		delete(n.slowLinks, key)
+	} else {
+		n.slowLinks[key] = f
+	}
+	n.slowCount.Store(int32(len(n.slowLinks)))
+	n.faultMu.Unlock()
+	if f.isZero() {
+		n.releaseSlowBacklog(key)
+	}
+}
+
+// ClearSlowLinks removes every slow-link fault and releases the backlogs.
+func (n *MemNet) ClearSlowLinks() {
+	n.faultMu.Lock()
+	keys := make([]linkKey, 0, len(n.slowLinks))
+	for k := range n.slowLinks {
+		keys = append(keys, k)
+		delete(n.slowLinks, k)
+	}
+	n.slowCount.Store(0)
+	n.faultMu.Unlock()
+	n.releaseSlowBacklog(keys...)
+}
+
+// releaseSlowBacklog re-times a healed link's queue: the constrained wire is
+// gone, so envelopes it had scheduled far out deliver at base latency
+// instead. FIFO is preserved — every rescheduled envelope gets the same
+// future instant, and earlier entries only ever keep smaller times.
+func (n *MemNet) releaseSlowBacklog(keys ...linkKey) {
+	n.mu.Lock()
+	links := make([]*memLink, 0, len(keys))
+	for _, k := range keys {
+		if l := n.links[k]; l != nil {
+			links = append(links, l)
+		}
+	}
+	n.mu.Unlock()
+	for _, l := range links {
+		l.mu.Lock()
+		l.nextFreeAt = time.Time{}
+		at := time.Now().Add(l.delay)
+		for i := range l.queue {
+			if l.queue[i].deliverAt.After(at) {
+				l.queue[i].deliverAt = at
+			}
+		}
+		l.cond.Signal()
+		l.mu.Unlock()
+	}
+}
+
+// slowFor returns the slow-link fault for a directed link (zero if none).
+func (n *MemNet) slowFor(key linkKey) FaultSlowLink {
+	if n.slowCount.Load() == 0 {
+		return FaultSlowLink{}
+	}
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	return n.slowLinks[key]
 }
 
 // faultFor resolves the effective fault for a directed send: an error fault
@@ -364,6 +450,10 @@ type memLink struct {
 	cond   *sync.Cond
 	queue  []timedEnvelope
 	closed bool
+	// nextFreeAt is when the (slow-link-constrained) wire finishes
+	// serializing everything accepted so far; the next envelope's
+	// transmission starts no earlier.
+	nextFreeAt time.Time
 }
 
 type timedEnvelope struct {
@@ -378,8 +468,13 @@ func newMemLink(net *MemNet, key linkKey, delay time.Duration) *memLink {
 }
 
 func (l *memLink) push(env Envelope) {
-	at := time.Now().Add(l.delay)
+	slow := l.net.slowFor(l.key)
+	size := 0
+	if slow.Rate > 0 {
+		size = wire.ApproxSize(env.Msg)
+	}
 	l.mu.Lock()
+	at := l.deliverAtLocked(slow, size)
 	// Guard FIFO even if the wall clock misbehaves: delivery times never
 	// regress along the queue.
 	if n := len(l.queue); n > 0 && l.queue[n-1].deliverAt.After(at) {
@@ -393,8 +488,15 @@ func (l *memLink) push(env Envelope) {
 // pushAll enqueues a batch under one lock acquisition; all envelopes share
 // one delivery time, modelling a single wire write.
 func (l *memLink) pushAll(envs []Envelope) {
-	at := time.Now().Add(l.delay)
+	slow := l.net.slowFor(l.key)
+	size := 0
+	if slow.Rate > 0 {
+		for i := range envs {
+			size += wire.ApproxSize(envs[i].Msg)
+		}
+	}
 	l.mu.Lock()
+	at := l.deliverAtLocked(slow, size)
 	if n := len(l.queue); n > 0 && l.queue[n-1].deliverAt.After(at) {
 		at = l.queue[n-1].deliverAt
 	}
@@ -405,12 +507,36 @@ func (l *memLink) pushAll(envs []Envelope) {
 	l.mu.Unlock()
 }
 
+// deliverAtLocked computes a send's delivery time: base link latency, plus —
+// under a slow-link fault — the serialization time of everything ahead of it
+// on the constrained wire and the fault's added propagation delay.
+func (l *memLink) deliverAtLocked(slow FaultSlowLink, size int) time.Time {
+	now := time.Now()
+	if slow.isZero() {
+		return now.Add(l.delay)
+	}
+	start := now
+	if l.nextFreeAt.After(start) {
+		start = l.nextFreeAt
+	}
+	if slow.Rate > 0 {
+		start = start.Add(time.Duration(float64(size) / float64(slow.Rate) * float64(time.Second)))
+	}
+	l.nextFreeAt = start
+	return start.Add(l.delay + slow.Delay)
+}
+
 func (l *memLink) close() {
 	l.mu.Lock()
 	l.closed = true
 	l.cond.Broadcast()
 	l.mu.Unlock()
 }
+
+// slowPollSlice bounds how long the delivery loop commits to one sleep: a
+// slow-link backlog scheduled far out must stay re-timeable by a heal, so
+// long waits are sliced and the head's delivery time re-read between slices.
+const slowPollSlice = 10 * time.Millisecond
 
 func (l *memLink) run() {
 	defer l.net.wg.Done()
@@ -423,13 +549,17 @@ func (l *memLink) run() {
 			l.mu.Unlock()
 			return
 		}
+		// Peek rather than pop: releaseSlowBacklog may pull the head's
+		// delivery time in while we sleep.
+		if wait := time.Until(l.queue[0].deliverAt); wait > 0 {
+			l.mu.Unlock()
+			time.Sleep(min(wait, slowPollSlice))
+			continue
+		}
 		te := l.queue[0]
 		l.queue = l.queue[1:]
 		l.mu.Unlock()
 
-		if wait := time.Until(te.deliverAt); wait > 0 {
-			time.Sleep(wait)
-		}
 		if !l.waitHealed() {
 			return // network closed while partitioned
 		}

@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// bigBatch builds a ReplicateBatch whose ApproxSize is roughly n bytes.
+func bigBatch(n int) wire.Message {
+	return wire.ReplicateBatch{
+		SrcDC: 0,
+		UpTo:  hlc.New(1, 0),
+		Groups: []wire.ReplicateGroup{{
+			CT: hlc.New(1, 0),
+			Txns: []wire.TxUpdates{{
+				TxID:   1,
+				Writes: []wire.KV{{Key: "k", Value: make([]byte, n)}},
+			}},
+		}},
+	}
+}
+
+// TestMemNetSlowLinkPacesDelivery: a rate-limited link serializes payload
+// at the configured bandwidth, so a payload worth ~200ms of wire time
+// arrives noticeably later than on an unconstrained link, and clearing the
+// fault restores immediate delivery.
+func TestMemNetSlowLinkPacesDelivery(t *testing.T) {
+	net := NewMemNet(nil)
+	defer func() { _ = net.Close() }()
+
+	sink := newCollector()
+	epA, err := net.Register(nodeA, newCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Register(nodeB, sink); err != nil {
+		t.Fatal(err)
+	}
+
+	const rate = 64 << 10 // 64 KiB/s
+	net.SetLinkSlow(nodeA, nodeB, FaultSlowLink{Rate: rate, Delay: 10 * time.Millisecond})
+
+	// ~200ms of serialization time at 64 KiB/s.
+	payload := bigBatch(rate / 5)
+	start := time.Now()
+	if err := epA.Send(Envelope{To: nodeB, Class: ClassCast, Msg: payload}); err != nil {
+		t.Fatal(err)
+	}
+	sink.waitFor(t, 1, 5*time.Second)
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("slow link delivered in %v, want >= 150ms", elapsed)
+	}
+
+	net.ClearSlowLinks()
+	start = time.Now()
+	if err := epA.Send(Envelope{To: nodeB, Class: ClassCast, Msg: hb(2)}); err != nil {
+		t.Fatal(err)
+	}
+	sink.waitFor(t, 2, 5*time.Second)
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("healed link delivered in %v, want fast", elapsed)
+	}
+}
+
+// TestMemNetSlowLinkSerializes: back-to-back sends on a constrained link
+// queue behind each other — the second payload waits for the first's wire
+// time — and FIFO order is preserved.
+func TestMemNetSlowLinkSerializes(t *testing.T) {
+	net := NewMemNet(nil)
+	defer func() { _ = net.Close() }()
+
+	sink := newCollector()
+	epA, err := net.Register(nodeA, newCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Register(nodeB, sink); err != nil {
+		t.Fatal(err)
+	}
+
+	const rate = 64 << 10
+	net.SetLinkSlow(nodeA, nodeB, FaultSlowLink{Rate: rate})
+
+	// Two payloads of ~100ms wire time each: the pair takes ~200ms.
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		if err := epA.Send(Envelope{To: nodeB, Class: ClassCast, Msg: bigBatch(rate / 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := sink.waitFor(t, 2, 5*time.Second)
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("two serialized payloads arrived in %v, want >= 150ms", elapsed)
+	}
+	for i, env := range got {
+		b, ok := env.Msg.(wire.ReplicateBatch)
+		if !ok || len(b.Groups) != 1 {
+			t.Fatalf("envelope %d corrupted: %+v", i, env.Msg)
+		}
+	}
+}
+
+// TestMemNetSlowLinkReleaseBacklog: clearing a slow link releases envelopes
+// the constrained wire had scheduled far into the future — the heal path a
+// nemesis script relies on to converge after a fault phase.
+func TestMemNetSlowLinkReleaseBacklog(t *testing.T) {
+	net := NewMemNet(nil)
+	defer func() { _ = net.Close() }()
+
+	sink := newCollector()
+	epA, err := net.Register(nodeA, newCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Register(nodeB, sink); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1 KiB/s: each payload is worth ~60s of wire time, far beyond the test.
+	net.SetLinkSlow(nodeA, nodeB, FaultSlowLink{Rate: 1 << 10})
+	for i := 0; i < 3; i++ {
+		if err := epA.Send(Envelope{To: nodeB, Class: ClassCast, Msg: bigBatch(60 << 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	start := time.Now()
+	net.ClearSlowLinks()
+	got := sink.waitFor(t, 3, 5*time.Second)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("backlog released in %v, want fast", elapsed)
+	}
+	for i, env := range got {
+		if _, ok := env.Msg.(wire.ReplicateBatch); !ok {
+			t.Fatalf("envelope %d corrupted: %+v", i, env.Msg)
+		}
+	}
+}
+
+// TestMemNetSlowLinkOtherDirectionUnaffected: the fault is directed.
+func TestMemNetSlowLinkOtherDirectionUnaffected(t *testing.T) {
+	net := NewMemNet(nil)
+	defer func() { _ = net.Close() }()
+
+	sinkA := newCollector()
+	epA, err := net.Register(nodeA, sinkA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := net.Register(nodeB, newCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = epA
+	net.SetLinkSlow(nodeA, nodeB, FaultSlowLink{Rate: 1, Delay: time.Hour})
+
+	start := time.Now()
+	if err := epB.Send(Envelope{To: nodeA, Class: ClassCast, Msg: hb(9)}); err != nil {
+		t.Fatal(err)
+	}
+	sinkA.waitFor(t, 1, 5*time.Second)
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("reverse direction delayed by %v, want fast", elapsed)
+	}
+}

@@ -116,6 +116,11 @@ func AppendMessage(buf []byte, msg Message) []byte {
 		buf = putU64(buf, m.NextSeq)
 		buf = putTS(buf, m.UpTo)
 		buf = putItems(buf, m.Items)
+	case ReplStatus:
+		buf = putU32(buf, uint32(m.SrcDC))
+		buf = putU64(buf, m.Epoch)
+		buf = putTS(buf, m.UpTo)
+		buf = putU64(buf, m.QueuedBytes)
 	case Heartbeat:
 		buf = putU32(buf, uint32(m.SrcDC))
 		buf = putTS(buf, m.TS)
@@ -221,6 +226,8 @@ func Decode(data []byte) (Message, error) {
 		msg = ReplSyncReq{ReqDC: topology.DCID(r.u32()), FromTS: r.ts()}
 	case KindReplSyncResp:
 		msg = ReplSyncResp{SrcDC: topology.DCID(r.u32()), Epoch: r.u64(), NextSeq: r.u64(), UpTo: r.ts(), Items: r.items()}
+	case KindReplStatus:
+		msg = ReplStatus{SrcDC: topology.DCID(r.u32()), Epoch: r.u64(), UpTo: r.ts(), QueuedBytes: r.u64()}
 	case KindHeartbeat:
 		msg = Heartbeat{SrcDC: topology.DCID(r.u32()), TS: r.ts()}
 	case KindGSTUp:

@@ -58,6 +58,8 @@ func sampleMessages() []Message {
 		GSTUp{Vec: []hlc.Timestamp{1, hlc.MaxTimestamp, 3}, Oldest: 2},
 		GSTUp{},
 		GSTRoot{DC: 1, Vec: []hlc.Timestamp{7, 8}, Oldest: 6},
+		ReplStatus{SrcDC: 2, Epoch: 5, UpTo: hlc.New(44, 1), QueuedBytes: 1 << 20},
+		ReplStatus{},
 		USTDown{UST: hlc.New(55, 0), Sold: hlc.New(50, 0)},
 		ErrorResp{Code: CodeShuttingDown, Msg: "stopping"},
 		ErrorResp{},

@@ -152,6 +152,11 @@ const (
 	// requested watermark, plus the stream position at which normal
 	// sequenced delivery resumes.
 	KindReplSyncResp
+	// KindReplStatus is the degraded-mode summary a flow-controlled sender
+	// emits instead of full ΔR rounds while its send queue for a peer is
+	// over the high-water mark. It carries no data and the receiver must
+	// not advance its version vector from it.
+	KindReplStatus
 )
 
 // String implements fmt.Stringer.
@@ -184,6 +189,7 @@ func (k Kind) String() string {
 		KindCommitRecover:    "CommitRecover",
 		KindReplSyncReq:      "ReplSyncReq",
 		KindReplSyncResp:     "ReplSyncResp",
+		KindReplStatus:       "ReplStatus",
 	}
 	if int(k) < len(names) && names[k] != "" {
 		return names[k]
@@ -397,6 +403,29 @@ type ReplSyncResp struct {
 
 // Kind implements Message.
 func (ReplSyncResp) Kind() Kind { return KindReplSyncResp }
+
+// ReplStatus is the heartbeat-only summary a sender degrades to when its
+// flow-controlled queue for a destination crosses the high-water mark:
+// rather than queueing more ΔR rounds it sheds them (the store remains the
+// durable record) and periodically casts this tiny status instead. UpTo is
+// the newest shed round's upper bound — informational only; the receiver
+// MUST NOT advance its version vector from it, because the data below it
+// was never delivered. The receiver's vv entry for SrcDC simply stops
+// advancing (UST-safe) until the sender resumes and the sequence-gap
+// repair path (ReplSyncReq/ReplSyncResp) fills the hole.
+type ReplStatus struct {
+	SrcDC topology.DCID
+	// Epoch is the sender's current stream epoch.
+	Epoch uint64
+	// UpTo is the newest round bound the sender has shed for this peer.
+	UpTo hlc.Timestamp
+	// QueuedBytes is the sender's current queue depth for this peer,
+	// exported for observability on the receiving side.
+	QueuedBytes uint64
+}
+
+// Kind implements Message.
+func (ReplStatus) Kind() Kind { return KindReplStatus }
 
 // AbortTx releases a prepared transaction on a cohort. The coordinator casts
 // it to every cohort it sent a prepare to when the prepare phase fails on any
@@ -623,6 +652,7 @@ var (
 	_ Message = CommitRecover{}
 	_ Message = ReplSyncReq{}
 	_ Message = ReplSyncResp{}
+	_ Message = ReplStatus{}
 	_ Message = AbortTx{}
 	_ Message = TxStatusReq{}
 	_ Message = TxStatusResp{}

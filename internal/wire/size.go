@@ -1,0 +1,54 @@
+package wire
+
+// hlc.Timestamp encodes as two u64s.
+const tsSize = 16
+
+// ApproxSize estimates a message's encoded size in bytes without encoding
+// it. The flow-control layer uses it to charge token buckets and account
+// send-queue depth, and MemNet uses it to model link serialization time.
+// For the payload-bearing replication messages the estimate walks the
+// actual keys and values, so it tracks the real frame size closely; for
+// everything else a small flat estimate is enough — those messages are
+// header-sized and flow control never queues them.
+func ApproxSize(msg Message) int {
+	switch m := msg.(type) {
+	case ReplicateBatch:
+		n := 1 + 4 + 8 + 8 + tsSize + 4 // kind, SrcDC, Epoch, Seq, UpTo, group count
+		for _, g := range m.Groups {
+			n += tsSize + 4 // CT, txn count
+			for _, tx := range g.Txns {
+				n += 8 + 4 + 4 // TxID, SrcDC, write count
+				n += kvsSize(tx.Writes)
+			}
+		}
+		return n
+	case ReplSyncResp:
+		n := 1 + 4 + 8 + 8 + tsSize + 4
+		for _, it := range m.Items {
+			n += 4 + len(it.Key) + 4 + len(it.Value) + tsSize + 8 + 4
+		}
+		return n
+	case Replicate:
+		n := 1 + 4 + tsSize + 4
+		for _, tx := range m.Txns {
+			n += 8 + 4 + 4 + kvsSize(tx.Writes)
+		}
+		return n
+	case CommitRecover:
+		return 1 + 8 + tsSize + 4 + kvsSize(m.Writes)
+	case PrepareReq:
+		return 1 + 8 + tsSize + tsSize + 4 + kvsSize(m.Writes)
+	case ReplStatus:
+		return 1 + 4 + 8 + tsSize + 8
+	default:
+		return 64
+	}
+}
+
+func kvsSize(kvs []KV) int {
+	n := 0
+	for _, kv := range kvs {
+		n += 4 + len(kv.Key) + 4 + len(kv.Value)
+	}
+	return n
+}

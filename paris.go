@@ -124,6 +124,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			ApplyInterval:    full.ApplyInterval,
 			BatchMaxItems:    full.BatchMaxItems,
 			BatchMaxBytes:    full.BatchMaxBytes,
+			BandwidthBudget:  full.BandwidthBudget,
+			BudgetBurst:      full.BudgetBurst,
+			FlowHighWater:    full.FlowHighWater,
+			FlowLowWater:     full.FlowLowWater,
 			GossipInterval:   full.GossipInterval,
 			USTInterval:      full.USTInterval,
 			GCInterval:       full.GCInterval,
@@ -253,6 +257,16 @@ func (c *Cluster) SetClockSkew(id topology.NodeID, skew time.Duration) bool {
 		sk.SetSkew(skew)
 	}
 	return ok
+}
+
+// SetFlowBudget reconfigures every live server's replication bandwidth
+// budget at runtime (no-op on servers without flow control). The nemesis
+// harness uses it to open the throttle after healing a constrained link so
+// a degraded replica's backlog drains quickly.
+func (c *Cluster) SetFlowBudget(rate, burst int) {
+	for _, s := range c.Servers() {
+		s.SetFlowBudget(rate, burst)
+	}
 }
 
 // MigrateSession moves a session to another data center: the session's
