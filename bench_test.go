@@ -164,9 +164,10 @@ func benchVisibility(b *testing.B, mode paris.Mode) {
 	if len(samples) == 0 {
 		b.Fatal("no visibility samples")
 	}
-	b.ReportMetric(float64(bench.PercentileOf(samples, 0.50).Microseconds())/1000, "vis-p50-ms")
-	b.ReportMetric(float64(bench.PercentileOf(samples, 0.90).Microseconds())/1000, "vis-p90-ms")
-	b.ReportMetric(float64(bench.PercentileOf(samples, 0.99).Microseconds())/1000, "vis-p99-ms")
+	qs := bench.NewQuantiles(samples)
+	b.ReportMetric(float64(qs.At(0.50).Microseconds())/1000, "vis-p50-ms")
+	b.ReportMetric(float64(qs.At(0.90).Microseconds())/1000, "vis-p90-ms")
+	b.ReportMetric(float64(qs.At(0.99).Microseconds())/1000, "vis-p99-ms")
 }
 
 func BenchmarkFig4VisibilityParis(b *testing.B) {

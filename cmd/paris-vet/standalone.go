@@ -1,0 +1,170 @@
+// standalone.go runs the suite without the go command driving: package
+// patterns are expanded against the enclosing module, source is typechecked
+// with the internal/analysis/load loader (stdlib source importer — no
+// export data needed), and diagnostics print in the usual vet format.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/paris-kv/paris/internal/analysis"
+	"github.com/paris-kv/paris/internal/analysis/load"
+)
+
+func standalone(patterns []string, suite []*analysis.Analyzer) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paris-vet: %v\n", err)
+		return 1
+	}
+	modDir, modPath, err := findModule(wd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paris-vet: %v\n", err)
+		return 1
+	}
+
+	dirs, err := expandPatterns(wd, modDir, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paris-vet: %v\n", err)
+		return 1
+	}
+
+	loader := load.New(modPath, modDir)
+	loader.IncludeTests = true
+	exit := 0
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(modDir, dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paris-vet: %v\n", err)
+			return 1
+		}
+		pkgPath := modPath
+		if rel != "." {
+			pkgPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		units, err := loader.Load(dir, pkgPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paris-vet: %v\n", err)
+			return 1
+		}
+		for _, unit := range units {
+			var diags []analysis.Diagnostic
+			for _, a := range suite {
+				pass := &analysis.Pass{
+					Analyzer:  a,
+					Fset:      unit.Fset,
+					Files:     unit.Syntax,
+					PkgPath:   unit.PkgPath,
+					Pkg:       unit.Types,
+					TypesInfo: unit.TypesInfo,
+				}
+				if err := a.Run(pass); err != nil {
+					fmt.Fprintf(os.Stderr, "paris-vet: %s: %s: %v\n", unit.PkgPath, a.Name, err)
+					return 1
+				}
+				diags = append(diags, pass.Diagnostics()...)
+			}
+			diags, _ = analysis.ApplySuppressions(unit.Fset, unit.Syntax, diags)
+			if code := report(unit.Fset, diags); code > exit {
+				exit = code
+			}
+		}
+	}
+	return exit
+}
+
+// findModule walks up from dir to the enclosing go.mod.
+func findModule(dir string) (modDir, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("go.mod in %s has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod above %s (standalone mode needs the module)", dir)
+		}
+		d = parent
+	}
+}
+
+// expandPatterns resolves `dir`, `./dir`, and `dir/...` patterns to package
+// directories (directories containing buildable .go files). testdata and
+// hidden directories are skipped, as the go command does.
+func expandPatterns(wd, modDir string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		root := pat
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(wd, root)
+		}
+		if !recursive {
+			if hasGoFiles(root) {
+				add(root)
+			} else {
+				return nil, fmt.Errorf("no Go files in %s", root)
+			}
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+// vetcfg.go implements the `go vet -vettool` driver protocol: the go
+// command hands the tool a JSON config describing one package unit — its
+// source files, the compiler that built its dependencies, and a map from
+// dependency package paths to gc export-data files — and expects
+// diagnostics on stderr, a facts ("vetx") output file, and exit status 2
+// when findings exist. This mirrors x/tools' go/analysis/unitchecker using
+// only the standard library's go/importer.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"github.com/paris-kv/paris/internal/analysis"
+)
+
+// vetConfig is the JSON schema of the file the go command passes as the
+// sole argument (see cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string // import path in source → canonical package path
+	PackageFile map[string]string // canonical package path → export data file
+	Standard    map[string]bool   // canonical package path → is stdlib
+
+	PackageVetx map[string]string // canonical package path → vetx facts file
+	VetxOnly    bool              // only facts are wanted, no diagnostics
+	VetxOutput  string            // where to write this unit's facts
+
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgPath string, suite []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paris-vet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "paris-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The analyzers carry no cross-package facts, so a facts-only request
+	// (the go command pre-computing dependency facts) needs no analysis at
+	// all — just the output file the build system expects.
+	if cfg.VetxOnly {
+		return writeVetx(&cfg)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(&cfg)
+			}
+			fmt.Fprintf(os.Stderr, "paris-vet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies typecheck from the gc export data the go command already
+	// built: resolve the source-level import path through ImportMap, then
+	// read the export file recorded in PackageFile.
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compImp.Import(importPath)
+	})
+
+	tcfg := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(&cfg)
+		}
+		fmt.Fprintf(os.Stderr, "paris-vet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range suite {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			PkgPath:   cfg.ImportPath,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "paris-vet: %s: %v\n", a.Name, err)
+			return 1
+		}
+		diags = append(diags, pass.Diagnostics()...)
+	}
+	diags, _ = analysis.ApplySuppressions(fset, files, diags)
+
+	if code := writeVetx(&cfg); code != 0 {
+		return code
+	}
+	return report(fset, diags)
+}
+
+// writeVetx writes the (empty — the suite is factless) facts file the go
+// command expects as this action's output.
+func writeVetx(cfg *vetConfig) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "paris-vet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -57,11 +57,12 @@ func main() {
 	for _, srv := range cluster.Servers() {
 		samples = append(samples, srv.VisibilityLatencies()...)
 	}
+	qs := bench.NewQuantiles(samples)
 	fmt.Printf("  visibility latency over %d samples: p50=%v p90=%v p99=%v\n",
-		len(samples),
-		bench.PercentileOf(samples, 0.50).Round(time.Millisecond),
-		bench.PercentileOf(samples, 0.90).Round(time.Millisecond),
-		bench.PercentileOf(samples, 0.99).Round(time.Millisecond))
+		qs.Count(),
+		qs.At(0.50).Round(time.Millisecond),
+		qs.At(0.90).Round(time.Millisecond),
+		qs.At(0.99).Round(time.Millisecond))
 
 	// Phase 2: partition DC 2 away. The UST is a global minimum, so it
 	// freezes at every DC; reads keep serving the last stable snapshot and

@@ -1,0 +1,78 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass, Diagnostic —
+// sized for this repository's custom invariant checkers (cmd/paris-vet).
+//
+// The container building this repo carries only the Go toolchain and the
+// standard library, so the x/tools framework is out of reach; everything a
+// paris-vet analyzer needs (parsed syntax, full type information, a
+// diagnostic sink, and //lint:ignore suppression) is provided here from
+// stdlib go/ast + go/types alone. The shapes intentionally mirror x/tools so
+// analyzers could be ported to the upstream framework by changing imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore paris/<name> suppression comments.
+	Name string
+	// Doc is the one-paragraph description shown by `paris-vet -help`.
+	Doc string
+	// Run applies the analyzer to one package and reports findings through
+	// pass.Reportf. The returned error aborts the whole run (reserved for
+	// internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// Pass carries one package's worth of material to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	PkgPath   string
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Diagnostics returns the findings recorded so far.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diagnostics }
+
+// Inspect walks every file of the pass in depth-first order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf returns the object denoted by ident, or nil.
+func (p *Pass) ObjectOf(ident *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(ident)
+}

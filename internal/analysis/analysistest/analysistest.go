@@ -1,0 +1,182 @@
+// Package analysistest runs a paris-vet analyzer over fixture packages and
+// checks its diagnostics against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest with the stdlib-only loader.
+//
+// Fixture layout: <testdata>/src/<pkgpath>/*.go. A fixture line that should
+// be flagged carries a trailing comment:
+//
+//	bad() // want "part of the expected message"
+//
+// Multiple expected diagnostics on one line list multiple quoted regexps.
+// Suppression fixtures work too: //lint:ignore comments are applied before
+// matching, so a fixture can assert that a justified suppression silences a
+// finding (no want → no diagnostic expected).
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/paris-kv/paris/internal/analysis"
+	"github.com/paris-kv/paris/internal/analysis/load"
+)
+
+// TestData returns the caller package's testdata directory.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod and returns the
+// module directory and path.
+func moduleRoot(dir string) (string, string, error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("go.mod in %s has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedStrings pulls the double-quoted or backquoted regexp literals out
+// of a want comment's payload.
+func quotedStrings(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				if s[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j < len(s) {
+				out = append(out, strings.ReplaceAll(s[i+1:j], `\"`, `"`))
+				i = j
+			}
+		case '`':
+			j := strings.IndexByte(s[i+1:], '`')
+			if j >= 0 {
+				out = append(out, s[i+1:i+1+j])
+				i = i + 1 + j
+			}
+		}
+	}
+	return out
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// Run applies the analyzer to each fixture package under
+// <testdata>/src/<pkg> and compares diagnostics against want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	modDir, modPath, err := moduleRoot(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		runOne(t, testdata, modDir, modPath, a, pkg)
+	}
+}
+
+func runOne(t *testing.T, testdata, modDir, modPath string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	loader := load.New(modPath, modDir)
+	loader.FixtureRoot = filepath.Join(testdata, "src")
+	loader.IncludeTests = true
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
+	units, err := loader.Load(dir, pkgpath)
+	if err != nil {
+		t.Fatalf("%s: load: %v", pkgpath, err)
+	}
+
+	for _, unit := range units {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      unit.Fset,
+			Files:     unit.Syntax,
+			PkgPath:   unit.PkgPath,
+			Pkg:       unit.Types,
+			TypesInfo: unit.TypesInfo,
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer: %v", unit.PkgPath, err)
+		}
+		diags, _ := analysis.ApplySuppressions(unit.Fset, unit.Syntax, pass.Diagnostics())
+
+		// Gather want expectations.
+		type want struct {
+			re      *regexp.Regexp
+			raw     string
+			matched bool
+		}
+		wants := make(map[wantKey][]*want)
+		for _, f := range unit.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := unit.Fset.Position(c.Pos())
+					for _, q := range quotedStrings(m[1]) {
+						re, err := regexp.Compile(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q, err)
+						}
+						k := wantKey{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], &want{re: re, raw: q})
+					}
+				}
+			}
+		}
+
+		for _, d := range diags {
+			pos := unit.Fset.Position(d.Pos)
+			k := wantKey{pos.Filename, pos.Line}
+			matched := false
+			for _, wt := range wants[k] {
+				if !wt.matched && wt.re.MatchString(d.Message) {
+					wt.matched = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+			}
+		}
+		for k, ws := range wants {
+			for _, wt := range ws {
+				if !wt.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, wt.raw)
+				}
+			}
+		}
+	}
+}

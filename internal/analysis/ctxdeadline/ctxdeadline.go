@@ -1,0 +1,116 @@
+// Package ctxdeadline audits wall-clock usage in protocol code. The
+// clock-skew nemesis scenario skews the *injected* clock source
+// (internal/clock → hlc); any protocol logic that reads time.Now() directly
+// is invisible to that scenario and can silently depend on wall-clock
+// behaviour the deployment model (NTP-synchronized, skewed, stepped) does
+// not guarantee. PR 7's audit pinned this: deadlines and timestamps in
+// protocol packages must either route through the clock abstraction or
+// carry an explicit justification that process-local monotonic time is what
+// is meant.
+//
+// In protocol packages (internal/server, internal/transport), non-test
+// files are flagged for:
+//
+//   - time.Now().Add(...) — wall-clock deadline arithmetic;
+//   - time.Now().Unix/UnixNano/UnixMilli/UnixMicro() — a wall-clock scalar,
+//     one conversion away from being confused with a protocol timestamp;
+//   - Timestamp(... time.Now() ...) — a direct conversion of wall-clock
+//     material into the HLC timestamp domain, bypassing hlc.Clock.
+//
+// Legitimate uses (socket deadlines, TTL bookkeeping on monotonic time,
+// incarnation ids) are expected to carry a //lint:ignore paris/ctxdeadline
+// comment saying *why* wall clock is correct there — the audit trail the
+// clock-skew scenario's maintainers read.
+package ctxdeadline
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/paris-kv/paris/internal/analysis"
+)
+
+// Analyzer is the ctxdeadline analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxdeadline",
+	Doc: "wall-clock deadline arithmetic and wall-clock→timestamp conversions " +
+		"in protocol code must route through the HLC/clock abstraction or " +
+		"justify monotonic/wall-clock use explicitly",
+	Run: run,
+}
+
+// protocolPkg matches the packages whose code participates in the
+// distributed protocol (and so falls under the clock-skew audit).
+var protocolPkg = regexp.MustCompile(`(^|/)(server|transport)(/|$)`)
+
+// unixMethods convert a time.Time into a scalar.
+var unixMethods = map[string]bool{
+	"Unix": true, "UnixNano": true, "UnixMilli": true, "UnixMicro": true,
+}
+
+// isTimeNowCall reports whether e is (possibly parenthesized) time.Now().
+func isTimeNowCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && analysis.IsPkgCall(info, call, "time", "Now")
+}
+
+// containsTimeNow reports whether any sub-expression calls time.Now.
+func containsTimeNow(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && analysis.IsPkgCall(info, call, "time", "Now") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func run(pass *analysis.Pass) error {
+	if !protocolPkg.MatchString(pass.PkgPath) {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Conversion into a Timestamp domain with wall-clock material.
+			if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+				if named := analysis.NamedOf(tv.Type); named != nil &&
+					strings.Contains(named.Obj().Name(), "Timestamp") &&
+					len(call.Args) == 1 && containsTimeNow(info, call.Args[0]) {
+					pass.Reportf(call.Pos(),
+						"wall clock converted into %s, bypassing the hlc clock abstraction; derive protocol timestamps from the injected clock so the clock-skew scenarios exercise this path",
+						named.Obj().Name())
+				}
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !isTimeNowCall(info, sel.X) {
+				return true
+			}
+			switch {
+			case sel.Sel.Name == "Add":
+				pass.Reportf(call.Pos(),
+					"wall-clock deadline arithmetic time.Now().Add in protocol code; route deadlines through the clock abstraction or justify monotonic-local use")
+			case unixMethods[sel.Sel.Name]:
+				pass.Reportf(call.Pos(),
+					"time.Now().%s produces a wall-clock scalar in protocol code; a skewed clock never sees this path — derive it from the injected clock or justify the raw reading",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

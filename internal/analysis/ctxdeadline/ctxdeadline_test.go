@@ -1,0 +1,12 @@
+package ctxdeadline_test
+
+import (
+	"testing"
+
+	"github.com/paris-kv/paris/internal/analysis/analysistest"
+	"github.com/paris-kv/paris/internal/analysis/ctxdeadline"
+)
+
+func TestCtxDeadline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxdeadline.Analyzer, "server", "bench")
+}

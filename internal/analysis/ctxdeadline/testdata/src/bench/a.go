@@ -1,0 +1,14 @@
+// Package bench is the ctxdeadline negative fixture: it is not a protocol
+// package, so identical wall-clock usage must produce no diagnostics.
+package bench
+
+import "time"
+
+type Timestamp uint64
+
+func measure(d time.Duration) (time.Time, int64, Timestamp) {
+	deadline := time.Now().Add(d)
+	scalar := time.Now().UnixNano()
+	ts := Timestamp(uint64(time.Now().UnixNano()))
+	return deadline, scalar, ts
+}

@@ -1,0 +1,44 @@
+// Package server is the ctxdeadline positive fixture: its import path
+// matches the protocol-package filter, so raw wall-clock reads must either
+// be flagged or carry a justified suppression.
+package server
+
+import "time"
+
+type Timestamp uint64
+
+type clockSource interface {
+	NowMillis() uint64
+}
+
+func badDeadline(d time.Duration) time.Time {
+	return time.Now().Add(d) // want `wall-clock deadline arithmetic time\.Now\(\)\.Add`
+}
+
+func badScalar() int64 {
+	return time.Now().UnixNano() // want `time\.Now\(\)\.UnixNano produces a wall-clock scalar`
+}
+
+func badConversion() Timestamp {
+	return Timestamp(uint64(time.Now().UnixNano())) // want `wall clock converted into Timestamp` `time\.Now\(\)\.UnixNano produces a wall-clock scalar`
+}
+
+// goodClock derives protocol time from the injected source — the shape the
+// analyzer wants protocol code to take.
+func goodClock(c clockSource) Timestamp {
+	return Timestamp(c.NowMillis())
+}
+
+// goodJustified shows the sanctioned escape hatch: monotonic-local use with
+// an explicit justification is suppressed, not flagged.
+func goodJustified(d time.Duration) time.Time {
+	//lint:ignore paris/ctxdeadline fixture: local retry timer on monotonic clock, never compared across nodes
+	return time.Now().Add(d)
+}
+
+// goodPlainNow: a bare time.Now() with no Add/Unix* and no Timestamp
+// conversion is fine (e.g. measuring a local elapsed duration).
+func goodPlainNow() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,304 @@
+// Package load turns directories of Go source into typechecked packages for
+// the paris-vet analyzers, using nothing but the standard library.
+//
+// Three import domains are resolved, in order:
+//
+//  1. a fixture root (analysistest's testdata/src), so analyzer fixtures can
+//     declare their own miniature wire/transport packages;
+//  2. the enclosing module (github.com/paris-kv/paris/...), mapped straight
+//     onto the repository tree — go/build alone cannot do this in module
+//     mode, which is why the resolution lives here;
+//  3. everything else (the standard library), delegated to the stdlib
+//     source importer, which typechecks GOROOT packages from source and so
+//     works offline with no export data installed.
+//
+// When paris-vet runs as a `go vet -vettool`, none of this is used: the vet
+// driver hands over a build-system config with gc export data and
+// cmd/paris-vet typechecks against that instead (see vetcfg.go there).
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one typechecked package unit.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader loads and caches packages. Not safe for concurrent use.
+type Loader struct {
+	Fset *token.FileSet
+	// ModulePath/ModuleDir anchor domain 2 (the enclosing module).
+	ModulePath string
+	ModuleDir  string
+	// FixtureRoot, when set, is checked before the module (domain 1).
+	FixtureRoot string
+	// IncludeTests adds _test.go files to packages loaded via Load (never
+	// to transitively imported dependencies).
+	IncludeTests bool
+
+	cache map[string]*types.Package
+	src   types.Importer
+}
+
+// New returns a loader rooted at the given module.
+func New(modulePath, moduleDir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modulePath,
+		ModuleDir:  moduleDir,
+		cache:      make(map[string]*types.Package),
+		src:        importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// dirFor resolves an import path to a directory in domains 1–2; ok=false
+// means "not ours" (delegate to the source importer).
+func (l *Loader) dirFor(path string) (string, bool) {
+	if l.FixtureRoot != "" {
+		dir := filepath.Join(l.FixtureRoot, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+	}
+	if path == l.ModulePath {
+		return l.ModuleDir, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// Import implements types.Importer over the three domains.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return l.src.Import(path)
+	}
+	pkg, err := l.load(dir, path, false)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg.Types
+	return pkg.Types, nil
+}
+
+// Load typechecks the package in dir under the given import path. With
+// IncludeTests set, in-package _test.go files join the unit and an external
+// "_test" package, if present, is returned as a second unit (mirroring the
+// package units `go vet` analyzes).
+func (l *Loader) Load(dir, path string) ([]*Package, error) {
+	pkg, err := l.load(dir, path, l.IncludeTests)
+	if err != nil {
+		return nil, err
+	}
+	// Never overwrite a cache entry: if a dependent already imported this
+	// package (test-free variant), its types are woven into that dependent's
+	// signatures, and replacing the entry would split the package into two
+	// non-identical types.Package universes.
+	if _, ok := l.cache[path]; !ok {
+		l.cache[path] = pkg.Types
+	}
+	out := []*Package{pkg}
+	if l.IncludeTests {
+		ext, err := l.loadExternalTests(dir, path, pkg.Types)
+		if err != nil {
+			return nil, err
+		}
+		if ext != nil {
+			out = append(out, ext)
+		}
+	}
+	return out, nil
+}
+
+// selfImporter resolves one package path to a pre-built package (the
+// test-inclusive unit an external _test package belongs to) and delegates
+// the rest.
+type selfImporter struct {
+	path string
+	pkg  *types.Package
+	next types.Importer
+}
+
+func (s selfImporter) Import(path string) (*types.Package, error) {
+	if path == s.path {
+		return s.pkg, nil
+	}
+	return s.next.Import(path)
+}
+
+// goFiles lists the buildable .go files of dir: tests excluded or not, and
+// external-test-package files (package foo_test) handled by the caller.
+func (l *Loader) goFiles(dir string, tests bool) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// MatchFile applies //go:build lines and filename-implied
+		// GOOS/GOARCH constraints with the host toolchain's tags.
+		if ok, err := ctx.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (l *Loader) parse(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+func (l *Loader) check(path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := newInfo()
+	cfg := types.Config{Importer: imp}
+	pkg, err := cfg.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+func (l *Loader) load(dir, path string, tests bool) (*Package, error) {
+	names, err := l.goFiles(dir, tests)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load %s: no buildable Go files in %s", path, dir)
+	}
+	files, err := l.parse(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	// Primary package name: the one declared by non-test files (in-package
+	// tests share it; external-test files are a separate unit).
+	primary := ""
+	for i, f := range files {
+		if !strings.HasSuffix(names[i], "_test.go") {
+			primary = f.Name.Name
+			break
+		}
+	}
+	if primary == "" && len(files) > 0 {
+		primary = strings.TrimSuffix(files[0].Name.Name, "_test")
+	}
+	var unit []*ast.File
+	for _, f := range files {
+		if f.Name.Name == primary {
+			unit = append(unit, f)
+		}
+	}
+	tpkg, info, err := l.check(path, unit, l)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		PkgPath:   path,
+		Name:      primary,
+		Fset:      l.Fset,
+		Syntax:    unit,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// loadExternalTests builds the foo_test unit of dir, if any. Imports of the
+// primary package resolve to the test-inclusive unit just built (external
+// tests may reference in-package test helpers); everything else goes
+// through the loader.
+func (l *Loader) loadExternalTests(dir, path string, primary *types.Package) (*Package, error) {
+	names, err := l.goFiles(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	var extNames []string
+	for _, name := range names {
+		if !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		extNames = append(extNames, name)
+	}
+	files, err := l.parse(dir, extNames)
+	if err != nil {
+		return nil, err
+	}
+	var unit []*ast.File
+	for _, f := range files {
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			unit = append(unit, f)
+		}
+	}
+	if len(unit) == 0 {
+		return nil, nil
+	}
+	extPath := path + "_test"
+	imp := selfImporter{path: path, pkg: primary, next: l}
+	tpkg, info, err := l.check(extPath, unit, imp)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		PkgPath:   extPath,
+		Name:      unit[0].Name.Name,
+		Fset:      l.Fset,
+		Syntax:    unit,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

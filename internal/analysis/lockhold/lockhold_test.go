@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"github.com/paris-kv/paris/internal/analysis/analysistest"
+	"github.com/paris-kv/paris/internal/analysis/lockhold"
+)
+
+func TestLockHold(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockhold.Analyzer, "lockfix")
+}

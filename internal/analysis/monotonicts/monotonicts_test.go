@@ -1,0 +1,12 @@
+package monotonicts_test
+
+import (
+	"testing"
+
+	"github.com/paris-kv/paris/internal/analysis/analysistest"
+	"github.com/paris-kv/paris/internal/analysis/monotonicts"
+)
+
+func TestMonotonicTS(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), monotonicts.Analyzer, "monots")
+}

@@ -1,0 +1,59 @@
+// Package monots is the monotonicts fixture: timestamp atomics must go
+// through a CAS-advance helper, never a blind Store/Swap, and no field may
+// mix atomic and plain access.
+package monots
+
+import "sync/atomic"
+
+// atomicTS mirrors internal/server/atomicts.go — the one legal home for
+// timestamp atomics.
+type atomicTS struct{ v atomic.Uint64 }
+
+// advance is the legal monotonic update: Load + CompareAndSwap, no Store.
+func (a *atomicTS) advance(ts uint64) bool {
+	for {
+		cur := a.v.Load()
+		if ts <= cur {
+			return false
+		}
+		if a.v.CompareAndSwap(cur, ts) {
+			return true
+		}
+	}
+}
+
+type server struct {
+	ust   atomic.Uint64
+	txSeq atomic.Uint64
+	ts    atomicTS
+}
+
+func bad(s *server) {
+	s.ust.Store(5)    // want `raw atomic Store on timestamp-carrying field "ust"`
+	s.ts.v.Store(9)   // want `raw atomic Store on timestamp-carrying field "v"`
+	_ = s.ust.Swap(3) // want `raw atomic Swap on timestamp-carrying field "ust"`
+}
+
+func good(s *server) {
+	s.txSeq.Store(1) // a sequence counter is an identifier, not a timestamp
+	s.ts.advance(7)
+	_ = s.ust.Load()
+	if s.ust.CompareAndSwap(0, 1) { // CAS is the sanctioned primitive
+		return
+	}
+}
+
+// counter exercises the mixed-access rule with package-level atomics.
+type counter struct {
+	installedTS uint64
+	hits        uint64
+	plain       uint64
+}
+
+func mixed(c *counter) {
+	atomic.StoreUint64(&c.installedTS, 1) // want `raw atomic.StoreUint64 on timestamp-carrying field "installedTS"`
+	atomic.AddUint64(&c.hits, 1)
+	c.hits = 0 // want `field "hits" is written through sync/atomic elsewhere`
+	_ = atomic.LoadUint64(&c.hits)
+	c.plain++ // plain field with no atomic users: fine
+}

@@ -1,0 +1,308 @@
+// Package poolescape enforces the pooled-value lifetime discipline around
+// sync.Pool and the repo's pooled scratch objects (wire.GetBuffer /
+// PutBuffer, the readFanout pool, the response-channel pool). The PR 7 bug
+// class motivates it: a pooled read-fanout's key slice escaped into a
+// zero-copy wire message, was recycled while a timed-out delivery still held
+// it, and corrupted an unrelated later read.
+//
+// Within the function that obtains a pooled value, the analyzer flags:
+//
+//   - escapes: storing the pooled value (or anything reached through it —
+//     a field, an element, a sub-slice) into a struct field, map, slice,
+//     global, channel, or composite literal, or returning it. All of these
+//     let the aliased memory outlive the put;
+//   - leaks: obtaining a pooled value and never handing it back (no Put on
+//     any path, no deferred Put) while also never transferring ownership by
+//     passing the value itself to another function.
+//
+// The analysis is intra-procedural by design: passing the whole pooled
+// value to a callee is treated as an ownership transfer (the callee is then
+// responsible, and is itself analyzed when its package is), while passing a
+// sub-object (g.keys[i]) is treated as a loan — the callee may read it but
+// the caller still puts. A callee that retains a loan (the PR 7 bug did,
+// inside the transport) must copy; the negative fixtures pin the legal
+// copy-before-retain shapes.
+package poolescape
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"github.com/paris-kv/paris/internal/analysis"
+)
+
+// Analyzer is the poolescape analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc: "pooled values (sync.Pool.Get, wire.GetBuffer, pooled scratch getters) " +
+		"must be returned to their pool and must not escape into fields, " +
+		"channels, composite literals or return values",
+	Run: run,
+}
+
+// getFunc / putFunc recognize wrapper helpers by name: GetBuffer/PutBuffer,
+// getReadFanout/putReadFanout, etc. The sync.Pool methods are recognized by
+// type, not name.
+var (
+	getFunc = regexp.MustCompile(`^(get|Get)[A-Z]`)
+	putFunc = regexp.MustCompile(`^(put|Put)[A-Z]`)
+)
+
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Recv() != nil && analysis.TypeNameIs(sig.Recv().Type(), "sync", "Pool")
+}
+
+// isGetCall reports whether call yields a pooled value: (*sync.Pool).Get,
+// possibly wrapped in a type assertion, or a helper named like a pool getter
+// that is known (same package) or presumed (cross package, e.g.
+// wire.GetBuffer) to wrap one.
+func isGetCall(info *types.Info, e ast.Expr, poolGetters map[*types.Func]bool) (ast.Expr, bool) {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	if isPoolMethod(info, call, "Get") {
+		return e, true
+	}
+	fn := analysis.CalleeFunc(info, call)
+	if fn != nil && poolGetters[fn] {
+		return e, true
+	}
+	return nil, false
+}
+
+// packagePoolGetters finds functions in this package whose body returns a
+// value drawn from a sync.Pool — their callers receive pooled values just
+// as surely as direct Get callers do.
+func packagePoolGetters(pass *analysis.Pass) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			usesPoolGet := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && isPoolMethod(info, call, "Get") {
+					usesPoolGet = true
+				}
+				return !usesPoolGet
+			})
+			if !usesPoolGet || !getFunc.MatchString(fd.Name.Name) {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = true
+			}
+		}
+	}
+	return out
+}
+
+// isPutCall reports whether call returns a value to a pool: (*sync.Pool).Put
+// or a helper named like one (PutBuffer, putReadFanout).
+func isPutCall(info *types.Info, call *ast.CallExpr) bool {
+	if isPoolMethod(info, call, "Put") {
+		return true
+	}
+	fn := analysis.CalleeFunc(info, call)
+	return fn != nil && putFunc.MatchString(fn.Name())
+}
+
+func run(pass *analysis.Pass) error {
+	poolGetters := packagePoolGetters(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, poolGetters)
+		}
+	}
+	return nil
+}
+
+// pooledVar is one tracked pooled value within a function.
+type pooledVar struct {
+	obj    types.Object
+	getPos ast.Node
+	put    bool // a Put (direct or deferred) names it
+	handed bool // the whole value was passed to another function
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, poolGetters map[*types.Func]bool) {
+	info := pass.TypesInfo
+	var tracked []*pooledVar
+	byObj := make(map[types.Object]*pooledVar)
+
+	// Collect pooled variables: v := pool.Get().(T) / v := getX().
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		if _, ok := isGetCall(info, as.Rhs[0], poolGetters); !ok {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		pv := &pooledVar{obj: obj, getPos: as.Rhs[0]}
+		tracked = append(tracked, pv)
+		byObj[obj] = pv
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	// rootedAt reports which tracked value e reaches through, if any.
+	rootedAt := func(e ast.Expr) *pooledVar {
+		id := analysis.RootIdent(e)
+		if id == nil {
+			return nil
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		return byObj[obj]
+	}
+	// isWhole reports whether e is the tracked value itself (not a
+	// sub-object) — the ownership-transfer shape.
+	isWhole := func(e ast.Expr) *pooledVar {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			obj := info.Uses[id]
+			if obj == nil {
+				obj = info.Defs[id]
+			}
+			return byObj[obj]
+		}
+		return nil
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				// Writing INTO the pooled object (g.items[i] = ...) is the
+				// normal scratch usage; writing the pooled object into
+				// something else's field/map/global is the escape.
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else {
+					rhs = n.Rhs[0]
+				}
+				pv := rootedAt(rhs)
+				if pv == nil {
+					continue
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					// A named package-level var is an escape; a local
+					// whole-value rebinding (g := f, handleRead's heap-capture-
+					// avoidance idiom) is an alias — puts and escapes through
+					// either name are the same pooled object.
+					obj := info.Uses[l]
+					if obj == nil {
+						obj = info.Defs[l]
+					}
+					if obj == nil {
+						continue
+					}
+					if obj.Parent() == pass.Pkg.Scope() {
+						pass.Reportf(n.Pos(), "pooled value %q escapes into package-level variable %q; it may be recycled while still referenced", pv.obj.Name(), l.Name)
+						pv.handed = true
+					} else if isWhole(rhs) == pv {
+						byObj[obj] = pv
+					}
+				case *ast.SelectorExpr:
+					if base := rootedAt(l.X); base == nil {
+						pass.Reportf(n.Pos(), "pooled value %q (or memory reached through it) is stored into a field that outlives the pooled scope", pv.obj.Name())
+						pv.handed = true
+					}
+				case *ast.IndexExpr:
+					if base := rootedAt(l.X); base == nil {
+						pass.Reportf(n.Pos(), "pooled value %q (or memory reached through it) is stored into a map or slice that outlives the pooled scope", pv.obj.Name())
+						pv.handed = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if pv := rootedAt(n.Value); pv != nil {
+				pass.Reportf(n.Pos(), "pooled value %q is sent on a channel; the receiver may hold it after it is recycled", pv.obj.Name())
+				pv.handed = true
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if pv := rootedAt(res); pv != nil {
+					pass.Reportf(n.Pos(), "pooled value %q (or memory reached through it) is returned; the caller would hold recycled memory", pv.obj.Name())
+					pv.handed = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if pv := rootedAt(e); pv != nil {
+					pass.Reportf(e.Pos(), "pooled value %q (or memory reached through it) is placed into a composite literal without copying; copy it first (the literal may outlive the pooled scope)", pv.obj.Name())
+					pv.handed = true
+				}
+			}
+		case *ast.CallExpr:
+			if isPutCall(info, n) {
+				for _, arg := range n.Args {
+					if pv := rootedAt(arg); pv != nil {
+						pv.put = true
+					}
+				}
+				return true
+			}
+			// Builtins (append, copy, len, clear, ...) read the loaned
+			// memory but do not retain it: not a transfer, not an escape.
+			if fn, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[fn].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+			for _, arg := range n.Args {
+				if pv := isWhole(arg); pv != nil {
+					pv.handed = true // ownership transfer to the callee
+				}
+			}
+		}
+		return true
+	})
+
+	for _, pv := range tracked {
+		if !pv.put && !pv.handed {
+			pass.Reportf(pv.getPos.Pos(),
+				"pooled value %q is never returned to its pool on any path (no Put, no deferred Put, no ownership transfer)",
+				pv.obj.Name())
+		}
+	}
+}

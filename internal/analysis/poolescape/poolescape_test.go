@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"github.com/paris-kv/paris/internal/analysis/analysistest"
+	"github.com/paris-kv/paris/internal/analysis/poolescape"
+)
+
+func TestPoolEscape(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), poolescape.Analyzer, "poolfix")
+}

@@ -1,0 +1,109 @@
+// Package poolfix is the poolescape fixture: pooled values must be put back
+// on every path and must not escape the pooled scope. The escape shapes
+// mirror the PR 7 bug (a pooled fan-out slice escaping into a zero-copy
+// wire message); the ok shapes pin the legal copy-before-retain idioms.
+package poolfix
+
+import "sync"
+
+type buf struct{ b []byte }
+
+var pool = sync.Pool{New: func() interface{} { return new(buf) }}
+
+// getBuf/putBuf mirror wire.GetBuffer/PutBuffer; the analyzer infers getBuf
+// is a pool getter from its body.
+func getBuf() *buf  { return pool.Get().(*buf) }
+func putBuf(b *buf) { pool.Put(b) }
+
+type msg struct{ payload []byte }
+
+type sink struct {
+	held  *buf
+	byKey map[string]*buf
+}
+
+func leak() {
+	b := getBuf() // want `never returned to its pool`
+	_ = b.b
+}
+
+func escapeField(s *sink) {
+	b := getBuf()
+	s.held = b // want `stored into a field that outlives the pooled scope`
+	putBuf(b)
+}
+
+func escapeMap(s *sink) {
+	b := getBuf()
+	s.byKey["x"] = b // want `stored into a map or slice that outlives the pooled scope`
+	putBuf(b)
+}
+
+func escapeCompositeLit(ch chan msg) {
+	b := getBuf()
+	m := msg{payload: b.b} // want `placed into a composite literal without copying`
+	ch <- m
+	putBuf(b)
+}
+
+func escapeSend(ch chan *buf) {
+	b := getBuf()
+	ch <- b // want `sent on a channel`
+}
+
+func escapeReturn() []byte {
+	b := getBuf()
+	defer putBuf(b)
+	return b.b // want `is returned`
+}
+
+// okCopy is the legal shape after the PR 7 fix: copy the pooled bytes
+// before they enter anything that outlives the scope.
+func okCopy(ch chan msg) {
+	b := getBuf()
+	m := msg{payload: append([]byte(nil), b.b...)}
+	ch <- m
+	putBuf(b)
+}
+
+// okDefer holds to function exit and releases via defer.
+func okDefer() {
+	b := getBuf()
+	defer putBuf(b)
+	b.b = b.b[:0]
+}
+
+// okHandoff transfers ownership: the callee is responsible for the put.
+func consume(b *buf) { putBuf(b) }
+
+func okHandoff() {
+	b := getBuf()
+	consume(b)
+}
+
+// okAlias is handleRead's heap-capture-avoidance idiom: rebind the pooled
+// value to a fresh local before goroutine capture, and put via the alias.
+func okAlias() int {
+	b := getBuf()
+	g := b
+	n := len(g.b)
+	putBuf(g)
+	return n
+}
+
+// okDirect uses the pool without wrappers.
+func okDirect() {
+	b := pool.Get().(*buf)
+	pool.Put(b)
+}
+
+// okScratch writes into the pooled object itself — the normal use.
+func okScratch(keys []string) int {
+	b := getBuf()
+	for _, k := range keys {
+		b.b = append(b.b, k...)
+	}
+	n := len(b.b)
+	putBuf(b)
+	return n
+}

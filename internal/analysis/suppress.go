@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression is a //lint:ignore comment that silenced a finding (or
+// matched nothing). The driver surfaces unused suppressions so stale
+// justifications do not accumulate.
+type Suppression struct {
+	Pos      token.Pos
+	Analyzer string // analyzer name, or "*"
+	Reason   string
+	Used     bool
+}
+
+// suppressionsOf extracts every //lint:ignore directive from the files.
+//
+// Grammar, staticcheck-compatible in spirit:
+//
+//	//lint:ignore paris/<analyzer> <justification>
+//	//lint:ignore <analyzer> <justification>
+//
+// The justification is mandatory: a suppression without a reason does not
+// suppress — the finding survives and CI stays red, which is exactly the
+// "zero unexplained suppressions" gate.
+func suppressionsOf(fset *token.FileSet, files []*ast.File) []*Suppression {
+	var out []*Suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				name, reason, ok := strings.Cut(strings.TrimSpace(text), " ")
+				if !ok || strings.TrimSpace(reason) == "" {
+					continue // no justification → not a suppression
+				}
+				name = strings.TrimPrefix(name, "paris/")
+				out = append(out, &Suppression{
+					Pos:      c.Pos(),
+					Analyzer: name,
+					Reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ApplySuppressions drops diagnostics covered by a //lint:ignore comment on
+// the same line or the line immediately above, and returns the survivors
+// plus every suppression (so callers can flag unused ones).
+func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) ([]Diagnostic, []*Suppression) {
+	sups := suppressionsOf(fset, files)
+	if len(sups) == 0 {
+		return diags, nil
+	}
+	type key struct {
+		file string
+		line int
+	}
+	byLine := make(map[key][]*Suppression)
+	for _, s := range sups {
+		p := fset.Position(s.Pos)
+		byLine[key{p.Filename, p.Line}] = append(byLine[key{p.Filename, p.Line}], s)
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		suppressed := false
+		for _, line := range []int{p.Line, p.Line - 1} {
+			for _, s := range byLine[key{p.Filename, line}] {
+				if s.Analyzer == d.Analyzer || s.Analyzer == "*" {
+					s.Used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept, sups
+}

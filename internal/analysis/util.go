@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeFunc resolves the *types.Func a call invokes (function or method),
+// or nil for calls through function values, conversions and built-ins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsPkgCall reports whether call invokes the package-level function
+// pkgpath.name (e.g. "time".Now).
+func IsPkgCall(info *types.Info, call *ast.CallExpr, pkgpath, name string) bool {
+	fn := CalleeFunc(info, call)
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil &&
+		fn.Pkg().Path() == pkgpath && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// RecvNamed returns the named type of a method call's receiver (pointers
+// unwrapped), or nil for non-methods.
+func RecvNamed(info *types.Info, call *ast.CallExpr) *types.Named {
+	fn := CalleeFunc(info, call)
+	if fn == nil {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	return NamedOf(sig.Recv().Type())
+}
+
+// NamedOf unwraps pointers and aliases down to the *types.Named beneath t,
+// or nil.
+func NamedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(t)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// TypeNameIs reports whether t (pointers unwrapped) is the named type
+// pkgpath.name.
+func TypeNameIs(t types.Type, pkgpath, name string) bool {
+	n := NamedOf(t)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgpath
+}
+
+// RootIdent walks selector/index/slice/star/paren chains down to the base
+// identifier of an expression (x in x.f.g[i][:j]), or nil.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.TypeAssertExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// UsesObject reports whether any identifier inside e resolves to obj.
+func UsesObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// FieldObj resolves the field a selector denotes, or nil for methods,
+// package qualifiers and unresolved selections.
+func FieldObj(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	// Qualified identifier (pkg.X): a package-level var, never a field.
+	return nil
+}

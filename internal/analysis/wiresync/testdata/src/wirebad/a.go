@@ -1,0 +1,59 @@
+// Package wirebad is the wiresync positive fixture: a wire-shaped package
+// whose parallel enumerations (encoder, decoder, String table, ApproxSize)
+// have each drifted out of sync with the Kind/Message ground truth.
+package wirebad
+
+import "fmt"
+
+type Kind uint8
+
+const (
+	KindA Kind = iota + 1
+	KindB
+)
+
+func (k Kind) String() string {
+	names := [...]string{ // want `Kind.String name table is missing kinds: KindB`
+		KindA: "A",
+	}
+	if int(k) < len(names) && names[k] != "" {
+		return names[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+type Message interface {
+	Kind() Kind
+}
+
+type MsgA struct{ X uint64 }
+
+func (MsgA) Kind() Kind { return KindA }
+
+type MsgB struct{ Payload []byte }
+
+func (MsgB) Kind() Kind { return KindB }
+
+func AppendMessage(dst []byte, m Message) []byte {
+	switch m := m.(type) { // want `encoder type switch is missing message types: MsgB`
+	case MsgA:
+		_ = m
+	}
+	return dst
+}
+
+func Decode(k Kind, b []byte) (Message, error) {
+	switch k { // want `decoder switch is missing kinds: KindB`
+	case KindA:
+		return MsgA{}, nil
+	}
+	return nil, fmt.Errorf("unknown kind %d", uint8(k))
+}
+
+func ApproxSize(m Message) int {
+	switch m.(type) { // want `ApproxSize is missing explicit cases for payload-bearing messages: MsgB`
+	case MsgA:
+		return 16
+	}
+	return 64
+}

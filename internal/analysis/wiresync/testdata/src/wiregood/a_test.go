@@ -1,0 +1,16 @@
+package wiregood
+
+import "testing"
+
+func TestRoundTrip(t *testing.T) {
+	msgs := []Message{
+		MsgA{X: 7},
+		MsgB{Payload: []byte("hi")},
+	}
+	for _, m := range msgs {
+		b := AppendMessage(nil, m)
+		if _, err := Decode(m.Kind(), b); err != nil {
+			t.Fatalf("decode %v: %v", m.Kind(), err)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package wiretest
+
+import "testing"
+
+func TestRoundTripPartial(t *testing.T) {
+	msgs := []Message{
+		MsgA{X: 7},
+	}
+	for _, m := range msgs {
+		b := AppendMessage(nil, m)
+		if _, err := Decode(m.Kind(), b); err != nil {
+			t.Fatalf("decode %v: %v", m.Kind(), err)
+		}
+	}
+}

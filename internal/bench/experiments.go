@@ -333,10 +333,12 @@ func Fig3(o Options) ([]LocalityPoint, error) {
 // and BPR under the default workload.
 func Fig4(o Options) (parisCDF, bprCDF []CDFPoint, err error) {
 	o = o.withDefaults()
-	run := func(mode paris.Mode) ([]CDFPoint, []time.Duration, error) {
+	// One Quantiles per system: sorted once, then CDF and every printed
+	// percentile read from the same sorted view.
+	run := func(mode paris.Mode) (*Quantiles, error) {
 		cluster, err := paperCluster(o, mode, 4) // sample every 4th update
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		defer func() { _ = cluster.Close() }()
 		res, err := Run(RunConfig{
@@ -348,29 +350,31 @@ func Fig4(o Options) (parisCDF, bprCDF []CDFPoint, err error) {
 			KeysPerPartition: o.KeysPerPartition,
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		return DurationsCDF(res.Visibility), res.Visibility, nil
+		return NewQuantiles(res.Visibility), nil
 	}
-	parisCDF, parisRaw, err := run(paris.ModeNonBlocking)
+	parisQ, err := run(paris.ModeNonBlocking)
 	if err != nil {
 		return nil, nil, err
 	}
-	bprCDF, bprRaw, err := run(paris.ModeBlocking)
+	parisCDF = parisQ.CDF()
+	bprQ, err := run(paris.ModeBlocking)
 	if err != nil {
 		return parisCDF, nil, err
 	}
+	bprCDF = bprQ.CDF()
 	o.printf("# Fig4 — update visibility latency\n")
 	o.printf("%-8s %-10s %-10s %-10s %-10s\n", "system", "p50", "p90", "p99", "mean")
 	o.printf("%-8s %-10v %-10v %-10v %-10v\n", "paris",
-		PercentileOf(parisRaw, 0.50).Round(time.Millisecond),
-		PercentileOf(parisRaw, 0.90).Round(time.Millisecond),
-		PercentileOf(parisRaw, 0.99).Round(time.Millisecond),
-		MeanOf(parisRaw).Round(time.Millisecond))
+		parisQ.At(0.50).Round(time.Millisecond),
+		parisQ.At(0.90).Round(time.Millisecond),
+		parisQ.At(0.99).Round(time.Millisecond),
+		parisQ.Mean().Round(time.Millisecond))
 	o.printf("%-8s %-10v %-10v %-10v %-10v\n\n", "bpr",
-		PercentileOf(bprRaw, 0.50).Round(time.Millisecond),
-		PercentileOf(bprRaw, 0.90).Round(time.Millisecond),
-		PercentileOf(bprRaw, 0.99).Round(time.Millisecond),
-		MeanOf(bprRaw).Round(time.Millisecond))
+		bprQ.At(0.50).Round(time.Millisecond),
+		bprQ.At(0.90).Round(time.Millisecond),
+		bprQ.At(0.99).Round(time.Millisecond),
+		bprQ.Mean().Round(time.Millisecond))
 	return parisCDF, bprCDF, nil
 }

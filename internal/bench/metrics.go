@@ -167,41 +167,86 @@ func (h *Histogram) String() string {
 		h.count, h.Mean(), h.Percentile(0.50), h.Percentile(0.95), h.Percentile(0.99), h.Max())
 }
 
-// DurationsCDF builds a CDF directly from raw samples (used for
-// visibility latencies collected from servers).
-func DurationsCDF(samples []time.Duration) []CDFPoint {
-	if len(samples) == 0 {
-		return nil
-	}
+// Quantiles is a sorted report-time view over raw duration samples. Sweeps
+// record samples unsorted; building a Quantiles copies and sorts exactly
+// once (the caller's slice is never mutated), after which every percentile
+// lookup is O(1) and the CDF is a single linear pass. Use it whenever more
+// than one statistic is read from the same samples — the per-call copy+sort
+// in PercentileOf dominated report time on large visibility sweeps.
+type Quantiles struct {
+	sorted []time.Duration
+	sum    time.Duration
+}
+
+// NewQuantiles sorts a private copy of samples.
+func NewQuantiles(samples []time.Duration) *Quantiles {
 	sorted := append([]time.Duration(nil), samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	// Emit at most ~100 points.
-	step := len(sorted) / 100
+	var sum time.Duration
+	for _, s := range sorted {
+		sum += s
+	}
+	return &Quantiles{sorted: sorted, sum: sum}
+}
+
+// Count returns the number of samples.
+func (q *Quantiles) Count() int { return len(q.sorted) }
+
+// At returns the p-quantile, p in [0,1] (clamped).
+func (q *Quantiles) At(p float64) time.Duration {
+	if len(q.sorted) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return q.sorted[int(p*float64(len(q.sorted)-1))]
+}
+
+// Mean returns the arithmetic mean.
+func (q *Quantiles) Mean() time.Duration {
+	if len(q.sorted) == 0 {
+		return 0
+	}
+	return q.sum / time.Duration(len(q.sorted))
+}
+
+// CDF returns the cumulative distribution, downsampled to ~100 points.
+func (q *Quantiles) CDF() []CDFPoint {
+	if len(q.sorted) == 0 {
+		return nil
+	}
+	step := len(q.sorted) / 100
 	if step == 0 {
 		step = 1
 	}
 	var out []CDFPoint
-	for i := step - 1; i < len(sorted); i += step {
+	for i := step - 1; i < len(q.sorted); i += step {
 		out = append(out, CDFPoint{
-			Value:    sorted[i],
-			Fraction: float64(i+1) / float64(len(sorted)),
+			Value:    q.sorted[i],
+			Fraction: float64(i+1) / float64(len(q.sorted)),
 		})
 	}
 	if last := out[len(out)-1]; last.Fraction < 1 {
-		out = append(out, CDFPoint{Value: sorted[len(sorted)-1], Fraction: 1})
+		out = append(out, CDFPoint{Value: q.sorted[len(q.sorted)-1], Fraction: 1})
 	}
 	return out
 }
 
-// PercentileOf returns the q-quantile of raw samples.
+// DurationsCDF builds a CDF directly from raw samples (used for
+// visibility latencies collected from servers). For repeated statistics
+// over the same samples, build a Quantiles once instead.
+func DurationsCDF(samples []time.Duration) []CDFPoint {
+	return NewQuantiles(samples).CDF()
+}
+
+// PercentileOf returns the q-quantile of raw samples. It copies and sorts
+// per call; callers reading several quantiles should build a Quantiles.
 func PercentileOf(samples []time.Duration, q float64) time.Duration {
-	if len(samples) == 0 {
-		return 0
-	}
-	sorted := append([]time.Duration(nil), samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
+	return NewQuantiles(samples).At(q)
 }
 
 // MeanOf returns the arithmetic mean of raw samples.

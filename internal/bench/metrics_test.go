@@ -157,6 +157,43 @@ func TestPercentileOfAndMeanOf(t *testing.T) {
 	}
 }
 
+func TestQuantiles(t *testing.T) {
+	empty := NewQuantiles(nil)
+	if empty.Count() != 0 || empty.At(0.5) != 0 || empty.Mean() != 0 || empty.CDF() != nil {
+		t.Fatal("empty Quantiles gives non-zero stats")
+	}
+	samples := []time.Duration{50, 10, 30, 20, 40}
+	qs := NewQuantiles(samples)
+	if qs.Count() != 5 {
+		t.Fatalf("count %d", qs.Count())
+	}
+	if got := qs.At(0.5); got != 30 {
+		t.Fatalf("median %v", got)
+	}
+	if got := qs.At(0); got != 10 {
+		t.Fatalf("min quantile %v", got)
+	}
+	if got := qs.At(1); got != 50 {
+		t.Fatalf("max quantile %v", got)
+	}
+	// Out-of-range quantiles clamp instead of panicking.
+	if qs.At(-1) != 10 || qs.At(2) != 50 {
+		t.Fatal("quantile clamp broken")
+	}
+	if got := qs.Mean(); got != 30 {
+		t.Fatalf("mean %v", got)
+	}
+	// The constructor sorts a copy, never the caller's slice.
+	if samples[0] != 50 {
+		t.Fatal("NewQuantiles sorted the caller's slice")
+	}
+	// The CDF agrees with the quantile view and ends at fraction 1.
+	cdf := qs.CDF()
+	if len(cdf) != 5 || cdf[0].Value != 10 || cdf[4].Fraction != 1 {
+		t.Fatalf("CDF wrong: %+v", cdf)
+	}
+}
+
 func TestBucketValueCoversBucketOf(t *testing.T) {
 	// Invariant: the representative value of a duration's bucket is ≥ the
 	// duration (percentiles never underestimate).

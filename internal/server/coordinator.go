@@ -587,6 +587,7 @@ func (s *Server) prepareOn(out *prepareOutcome, prep wire.PrepareReq, node topol
 // carried writes let even a cohort that crashed and restarted since preparing
 // install the transaction.
 func (s *Server) confirmCommit(node topology.NodeID, id wire.TxID, ct hlc.Timestamp, writes []wire.KV) {
+	//lint:ignore paris/ctxdeadline local retry budget on the monotonic clock; never compared against protocol timestamps, so clock skew cannot affect it
 	deadline := time.Now().Add(s.cfg.abortedRetention())
 	backoff := s.cfg.ApplyInterval
 	if backoff < time.Millisecond {

@@ -478,6 +478,7 @@ func (p *flowPump) pace(bytes int) bool {
 	p.mu.Unlock()
 	p.s.metrics.flowThrottledNs.Add(uint64(d))
 	gen := p.bucket.Gen()
+	//lint:ignore paris/ctxdeadline pacing timer on the monotonic clock; a process-local sleep horizon, not a protocol deadline
 	deadline := time.Now().Add(d)
 	for {
 		wait := time.Until(deadline)

@@ -435,6 +435,7 @@ func New(cfg Config) (*Server, error) {
 	s.txCtx.init()
 	s.twoPC.init()
 	s.prepBatch.init(s)
+	//lint:ignore paris/ctxdeadline incarnation id: needs uniqueness across restarts, not clock accuracy; never ordered against HLC timestamps
 	s.replEpoch = uint64(time.Now().UnixNano())
 	s.replSeq = make(map[topology.NodeID]uint64)
 	s.syncReqs = make(map[topology.DCID]hlc.Timestamp)
@@ -447,6 +448,7 @@ func New(cfg Config) (*Server, error) {
 	// transaction could inherit a stale abort) and with every TxID-keyed
 	// record downstream. Catching up to a later incarnation's base would take
 	// a sustained million transactions per second from one coordinator.
+	//lint:ignore paris/ctxdeadline incarnation-unique TxID base (see comment above); uniqueness is what matters, not wall-clock accuracy
 	s.txSeq.Store(uint64(time.Now().UnixNano() >> 10))
 	for _, dc := range full.Topology.ReplicaDCs(full.ID.Partition()) {
 		s.vvLive[dc] = true
@@ -481,6 +483,7 @@ func (s *Server) Mode() Mode { return s.cfg.Mode }
 func (s *Server) Start() {
 	s.startOnce.Do(func() {
 		if s.cfg.RecoveryHold > 0 {
+			//lint:ignore paris/ctxdeadline local startup gate on the monotonic clock; holds this process only and is never exchanged with peers
 			s.holdUntil = time.Now().Add(s.cfg.RecoveryHold)
 		}
 		if s.flow != nil {

@@ -48,6 +48,7 @@ func (v *visibilityTracker) recordCommit(ct hlc.Timestamp) {
 // drain records visibility latency for every pending version the bound has
 // passed.
 func (v *visibilityTracker) drain(bound hlc.Timestamp) {
+	//lint:ignore paris/ctxdeadline visibility-latency metric deliberately compares wall clock to the HLC physical part; measurement only, no protocol decision depends on it
 	nowMs := uint64(time.Now().UnixMilli())
 	v.mu.Lock()
 	for v.pending.Len() > 0 && v.pending[0] <= bound {

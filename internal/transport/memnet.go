@@ -249,6 +249,7 @@ func (n *MemNet) releaseSlowBacklog(keys ...linkKey) {
 	for _, l := range links {
 		l.mu.Lock()
 		l.nextFreeAt = time.Time{}
+		//lint:ignore paris/ctxdeadline simulated-fabric delivery time; MemNet models link latency on the host clock by design, outside the protocol's clock abstraction
 		at := time.Now().Add(l.delay)
 		for i := range l.queue {
 			if l.queue[i].deliverAt.After(at) {

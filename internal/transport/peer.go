@@ -93,6 +93,7 @@ func (p *Peer) Call(ctx context.Context, to topology.NodeID, req wire.Message) (
 	ep := p.ep
 	p.nextID++
 	id := p.nextID
+	//lint:ignore paris/poolescape pooled channel parked in pending by design; the recycle-safety protocol below (forget vs. Close ownership) guarantees exactly one party recycles it
 	p.pending[id] = ch
 	p.mu.Unlock()
 	// On the never-sent error paths the channel may be recycled only if the

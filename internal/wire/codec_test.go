@@ -33,7 +33,20 @@ func sampleMessages() []Message {
 		ReadSliceResp{Items: []Item{{Key: "z", Value: []byte{}, UT: 1, TxID: 2, SrcDC: 1}}},
 		PrepareReq{TxID: 3, Snapshot: 10, HT: 20, Writes: []KV{{Key: "a", Value: []byte("xy")}, {Key: "b"}}},
 		PrepareResp{TxID: 3, Proposed: hlc.New(21, 0)},
+		PrepareBatch{Reqs: []PrepareReq{
+			{TxID: 4, Snapshot: 11, HT: 21, Writes: []KV{{Key: "c", Value: []byte("z")}}},
+			{TxID: 5, Snapshot: 12, HT: 22},
+		}},
+		PrepareBatch{},
+		PrepareBatchResp{Resps: []PrepareResult{
+			{TxID: 4, Proposed: hlc.New(23, 1)},
+			{TxID: 5, Code: CodeTxAborted, Msg: "conflict"},
+		}},
+		PrepareBatchResp{},
 		CohortCommit{TxID: 3, CommitTS: hlc.New(25, 2)},
+		CommitRecover{TxID: 6, CommitTS: hlc.New(26, 0), Writes: []KV{{Key: "r", Value: []byte("w")}}},
+		CommitRecover{},
+		ReplSyncReq{ReqDC: 2, FromTS: hlc.New(42, 0)},
 		AbortTx{TxID: NewTxID(2, 7, 41)},
 		AbortTx{},
 		TxStatusReq{TxID: NewTxID(1, 3, 17)},
@@ -103,6 +116,22 @@ func normalize(m Message) Message {
 		v.Writes = normKVs(v.Writes)
 		return v
 	case PrepareReq:
+		v.Writes = normKVs(v.Writes)
+		return v
+	case PrepareBatch:
+		if len(v.Reqs) == 0 {
+			v.Reqs = nil
+		}
+		for i := range v.Reqs {
+			v.Reqs[i].Writes = normKVs(v.Reqs[i].Writes)
+		}
+		return v
+	case PrepareBatchResp:
+		if len(v.Resps) == 0 {
+			v.Resps = nil
+		}
+		return v
+	case CommitRecover:
 		v.Writes = normKVs(v.Writes)
 		return v
 	case Replicate:

@@ -6,10 +6,10 @@ const tsSize = 16
 // ApproxSize estimates a message's encoded size in bytes without encoding
 // it. The flow-control layer uses it to charge token buckets and account
 // send-queue depth, and MemNet uses it to model link serialization time.
-// For the payload-bearing replication messages the estimate walks the
-// actual keys and values, so it tracks the real frame size closely; for
-// everything else a small flat estimate is enough — those messages are
-// header-sized and flow control never queues them.
+// Every payload-bearing message (anything carrying a slice) walks its
+// actual keys and values, so the estimate tracks the real frame size
+// closely — the wiresync analyzer enforces the coverage; for the remaining
+// fixed-shape messages a small flat estimate is enough.
 func ApproxSize(msg Message) int {
 	switch m := msg.(type) {
 	case ReplicateBatch:
@@ -38,11 +38,53 @@ func ApproxSize(msg Message) int {
 		return 1 + 8 + tsSize + 4 + kvsSize(m.Writes)
 	case PrepareReq:
 		return 1 + 8 + tsSize + tsSize + 4 + kvsSize(m.Writes)
+	case PrepareBatch:
+		n := 1 + 4
+		for _, r := range m.Reqs {
+			n += 8 + tsSize + tsSize + 4 + kvsSize(r.Writes)
+		}
+		return n
+	case PrepareBatchResp:
+		n := 1 + 4
+		for _, r := range m.Resps {
+			n += 8 + tsSize + 2 + 4 + len(r.Msg)
+		}
+		return n
+	case ReadReq:
+		return 1 + 8 + 4 + keysSize(m.Keys)
+	case ReadResp:
+		return 1 + 4 + itemsSize(m.Items)
+	case ReadSliceReq:
+		return 1 + tsSize + 4 + keysSize(m.Keys)
+	case ReadSliceResp:
+		return 1 + 4 + itemsSize(m.Items)
+	case CommitReq:
+		return 1 + 8 + tsSize + 4 + kvsSize(m.Writes)
+	case GSTUp:
+		return 1 + tsSize + 4 + tsSize*len(m.Vec)
+	case GSTRoot:
+		return 1 + 4 + tsSize + 4 + tsSize*len(m.Vec)
 	case ReplStatus:
 		return 1 + 4 + 8 + tsSize + 8
 	default:
 		return 64
 	}
+}
+
+func keysSize(keys []string) int {
+	n := 0
+	for _, k := range keys {
+		n += 4 + len(k)
+	}
+	return n
+}
+
+func itemsSize(items []Item) int {
+	n := 0
+	for _, it := range items {
+		n += 4 + len(it.Key) + 4 + len(it.Value) + tsSize + 8 + 4
+	}
+	return n
 }
 
 func kvsSize(kvs []KV) int {
