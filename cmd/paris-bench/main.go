@@ -46,6 +46,7 @@ var experiments = []struct {
 	{"fig4", "update visibility latency CDF, PaRiS vs BPR (Fig. 4)", runFig4},
 	{"batching", "replication messages/op, batched vs unbatched pipeline", runBatching},
 	{"hotpath", "client-operation hot path: scaling with parallelism (memnet + tcp), allocs/op", runHotpath},
+	{"visibility", "commit→stable latency + stabilization-plane cost: delta vs static gossip, v2 codec, repair chunking", runVisibility},
 	{"nemesis", "composed-fault scenario sweep with live consistency checking", runNemesis},
 	{"table1", "taxonomy of causally consistent systems (Table I)", runTable1},
 }
@@ -315,6 +316,14 @@ func runHotpath(o bench.Options) (*bench.Report, error) {
 		return nil, err
 	}
 	return cmp.Report("hotpath"), nil
+}
+
+func runVisibility(o bench.Options) (*bench.Report, error) {
+	cmp, err := bench.Visibility(o)
+	if err != nil {
+		return nil, err
+	}
+	return cmp.Report("visibility"), nil
 }
 
 // runNemesis sweeps the nemesis scenario suite at the configured seed: each

@@ -79,6 +79,14 @@ type Config struct {
 	// USTInterval is ΔU, the UST computation cadence. Default like
 	// ApplyInterval.
 	USTInterval time.Duration
+	// GossipIdleMax caps how far the adaptive stabilization loops back off
+	// on a quiescent cluster. 0 selects 32×GossipInterval; a value at or
+	// below GossipInterval pins the cadence (no backoff).
+	GossipIdleMax time.Duration
+	// GossipStatic restores the fixed-cadence, full-push stabilization
+	// gossip (no delta suppression, no adaptive backoff) — the pre-delta
+	// wire behavior, kept as a measurement baseline.
+	GossipStatic bool
 	// GCInterval is the version garbage-collection cadence. 0 disables GC.
 	GCInterval time.Duration
 	// TxContextTTL bounds abandoned coordinator contexts, measured from the

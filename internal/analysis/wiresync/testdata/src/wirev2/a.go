@@ -1,0 +1,72 @@
+// Package wirev2 mirrors the versioned-codec shape: AppendMessage and
+// Decode are switchless wrappers, and the real enumerations live in the
+// version-parameterized AppendMessageV/DecodeV. The analyzer must probe past
+// the wrappers and flag the incomplete switches at the *V sites — a silent
+// pass here would mean the whole check disabled itself on the refactor.
+package wirev2
+
+import "fmt"
+
+type Kind uint8
+
+const (
+	KindA Kind = iota + 1
+	KindB
+)
+
+func (k Kind) String() string {
+	names := [...]string{
+		KindA: "A",
+		KindB: "B",
+	}
+	if int(k) < len(names) && names[k] != "" {
+		return names[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+type Message interface {
+	Kind() Kind
+}
+
+type MsgA struct{ X uint64 }
+
+func (MsgA) Kind() Kind { return KindA }
+
+type MsgB struct{ Payload []byte }
+
+func (MsgB) Kind() Kind { return KindB }
+
+func AppendMessage(dst []byte, m Message) []byte {
+	return AppendMessageV(dst, m, 1)
+}
+
+func AppendMessageV(dst []byte, m Message, v uint8) []byte {
+	switch m := m.(type) { // want `encoder type switch is missing message types: MsgB`
+	case MsgA:
+		_ = m
+	}
+	return dst
+}
+
+func Decode(k Kind, b []byte) (Message, error) {
+	return DecodeV(k, b, 1)
+}
+
+func DecodeV(k Kind, b []byte, v uint8) (Message, error) {
+	switch k { // want `decoder switch is missing kinds: KindB`
+	case KindA:
+		return MsgA{}, nil
+	}
+	return nil, fmt.Errorf("unknown kind %d", uint8(k))
+}
+
+func ApproxSize(m Message) int {
+	switch m := m.(type) {
+	case MsgA:
+		return 16
+	case MsgB:
+		return 16 + len(m.Payload)
+	}
+	return 64
+}

@@ -151,27 +151,43 @@ func typeSwitchCases(pass *analysis.Pass, fd *ast.FuncDecl) (map[string]bool, as
 }
 
 func checkEncoder(pass *analysis.Pass, impls []*types.TypeName) {
-	fd := findFunc(pass, "AppendMessage")
-	if fd == nil {
-		fd = findFunc(pass, "Encode")
-	}
-	if fd == nil {
+	// The type switch may live in any of the encoder entry points; versioned
+	// codecs typically keep one shared switch in the *V variant and thin
+	// wrappers elsewhere, so probe all candidates and use the first that
+	// actually contains a type switch.
+	for _, name := range []string{"AppendMessageV", "AppendMessage", "EncodeV", "Encode"} {
+		fd := findFunc(pass, name)
+		if fd == nil {
+			continue
+		}
+		cases, site := typeSwitchCases(pass, fd)
+		if site == nil {
+			continue
+		}
+		if missing := missingNames(implNames(impls), cases); len(missing) > 0 {
+			pass.Reportf(site.Pos(), "encoder type switch is missing message types: %s (every wire.Message must be encodable)", strings.Join(missing, ", "))
+		}
 		return
-	}
-	cases, site := typeSwitchCases(pass, fd)
-	if site == nil {
-		return
-	}
-	if missing := missingNames(implNames(impls), cases); len(missing) > 0 {
-		pass.Reportf(site.Pos(), "encoder type switch is missing message types: %s (every wire.Message must be encodable)", strings.Join(missing, ", "))
 	}
 }
 
 func checkDecoder(pass *analysis.Pass, kindType *types.Named, kinds []*types.Const) {
-	fd := findFunc(pass, "Decode")
-	if fd == nil {
-		return
+	// Same candidate probing as checkEncoder: the Kind switch may live in
+	// the versioned DecodeV with Decode as a thin wrapper.
+	for _, name := range []string{"DecodeV", "Decode"} {
+		fd := findFunc(pass, name)
+		if fd == nil {
+			continue
+		}
+		if decoderSwitch(pass, fd, kindType, kinds) {
+			return
+		}
 	}
+}
+
+// decoderSwitch checks fd's Kind-tagged switch against the constant list;
+// it reports false if fd contains no such switch.
+func decoderSwitch(pass *analysis.Pass, fd *ast.FuncDecl, kindType *types.Named, kinds []*types.Const) bool {
 	have := make(map[string]bool)
 	var site ast.Node
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -198,7 +214,7 @@ func checkDecoder(pass *analysis.Pass, kindType *types.Named, kinds []*types.Con
 		return true
 	})
 	if site == nil {
-		return
+		return false
 	}
 	var all []string
 	for _, k := range kinds {
@@ -207,6 +223,7 @@ func checkDecoder(pass *analysis.Pass, kindType *types.Named, kinds []*types.Con
 	if missing := missingNames(all, have); len(missing) > 0 {
 		pass.Reportf(site.Pos(), "decoder switch is missing kinds: %s (every Kind constant must be decodable)", strings.Join(missing, ", "))
 	}
+	return true
 }
 
 // checkString verifies the Kind.String name table covers every constant.

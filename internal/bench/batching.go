@@ -193,3 +193,25 @@ func sampleReplicateBatch() wire.ReplicateBatch {
 	}
 	return batch
 }
+
+// sampleCounterBatch mirrors a hot-mix ΔR round: dense commit timestamps,
+// sequential TxIDs, short keys, and 8-byte counter values — the shape where
+// per-write framing dominates the frame and the v2 varint/delta codec pays
+// off most.
+func sampleCounterBatch() wire.ReplicateBatch {
+	batch := wire.ReplicateBatch{SrcDC: 2, Epoch: 7, Seq: 12345, UpTo: hlc.New(5000, 0)}
+	for g := 0; g < 32; g++ {
+		grp := wire.ReplicateGroup{CT: hlc.New(uint64(4000+g), uint16(g))}
+		for t := 0; t < 4; t++ {
+			grp.Txns = append(grp.Txns, wire.TxUpdates{
+				TxID:  wire.NewTxID(2, 7, uint64(100_000+g*4+t)),
+				SrcDC: 2,
+				Writes: []wire.KV{
+					{Key: "user:12345678", Value: []byte("12345678")},
+				},
+			})
+		}
+		batch.Groups = append(batch.Groups, grp)
+	}
+	return batch
+}

@@ -142,10 +142,10 @@ func Hotpath(o Options) (HotpathComparison, error) {
 		cmp.ScalingMemNet = cmp.MemNetN.ThroughputTx / cmp.MemNet1.ThroughputTx
 	}
 
-	if cmp.TCP1, err = runTCPLoad(o, 1); err != nil {
+	if cmp.TCP1, err = runTCPLoad(o, 1, 0); err != nil {
 		return cmp, err
 	}
-	if cmp.TCPN, err = runTCPLoad(o, o.SaturationThreads); err != nil {
+	if cmp.TCPN, err = runTCPLoad(o, o.SaturationThreads, 0); err != nil {
 		return cmp, err
 	}
 	if cmp.TCP1.ThroughputTx > 0 {
@@ -308,7 +308,7 @@ type tcpCluster struct {
 	clients []*transport.TCPNode
 }
 
-func newTCPCluster(o Options) (*tcpCluster, error) {
+func newTCPCluster(o Options, visSample int) (*tcpCluster, error) {
 	topo, err := topology.New(3, 3, 2)
 	if err != nil {
 		return nil, err
@@ -316,11 +316,12 @@ func newTCPCluster(o Options) (*tcpCluster, error) {
 	tc := &tcpCluster{topo: topo, book: transport.NewSyncBook()}
 	for _, id := range topo.AllServers() {
 		srv, err := server.New(server.Config{
-			ID:             id,
-			Topology:       topo,
-			ApplyInterval:  5 * time.Millisecond,
-			GossipInterval: 5 * time.Millisecond,
-			USTInterval:    5 * time.Millisecond,
+			ID:               id,
+			Topology:         topo,
+			ApplyInterval:    5 * time.Millisecond,
+			GossipInterval:   5 * time.Millisecond,
+			USTInterval:      5 * time.Millisecond,
+			VisibilitySample: visSample,
 		})
 		if err != nil {
 			tc.close()
@@ -394,9 +395,10 @@ func (tc *tcpCluster) messageCounters() (msgs, repl uint64) {
 }
 
 // runTCPLoad drives the closed loop against a fresh loopback TCP cluster
-// with threads clients per DC.
-func runTCPLoad(o Options, threads int) (Result, error) {
-	tc, err := newTCPCluster(o)
+// with threads clients per DC. A positive visSample enables update-visibility
+// tracking on every server; the samples land in Result.Visibility.
+func runTCPLoad(o Options, threads, visSample int) (Result, error) {
+	tc, err := newTCPCluster(o, visSample)
 	if err != nil {
 		return Result{}, err
 	}
@@ -488,6 +490,11 @@ func runTCPLoad(o Options, threads int) (Result, error) {
 	res.ThroughputTx = float64(res.Committed) / elapsed.Seconds()
 	res.Messages = msgs1 - msgs0
 	res.ReplMessages = repl1 - repl0
+	if visSample > 0 {
+		for _, srv := range tc.servers {
+			res.Visibility = append(res.Visibility, srv.VisibilityLatencies()...)
+		}
+	}
 	return res, nil
 }
 

@@ -78,6 +78,14 @@ type Result struct {
 	FlowShedRounds      uint64
 	FlowCoalesced       uint64
 	FlowThrottledFor    time.Duration
+
+	// Stabilization-plane aggregates, cluster-wide sums (maxima where noted)
+	// over the whole run: dedicated gossip pushes sent and delta-suppressed,
+	// and the chunked-repair frames served while catching up shed windows.
+	GossipSent          uint64
+	GossipSuppressed    uint64
+	RepairChunksServed  uint64
+	RepairChunkMaxBytes uint64
 }
 
 // Ok reports whether the run passed: a fully drained cluster and zero
@@ -369,6 +377,13 @@ func (r *runner) run() (*Result, error) {
 			res.FlowShedRounds += st.ShedRounds
 			res.FlowCoalesced += st.Coalesced
 			res.FlowThrottledFor += st.ThrottledFor
+		}
+		m := srv.Metrics()
+		res.GossipSent += m.GossipSent
+		res.GossipSuppressed += m.GossipSuppressed
+		res.RepairChunksServed += m.RepairChunksServed
+		if m.RepairChunkMaxBytes > res.RepairChunkMaxBytes {
+			res.RepairChunkMaxBytes = m.RepairChunkMaxBytes
 		}
 	}
 

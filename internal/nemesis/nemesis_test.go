@@ -69,6 +69,23 @@ func TestNemesis_FlappingLinksLargeValues(t *testing.T) {
 	runScenario(t, "flapping_links_large_values", paris.ModeNonBlocking)
 }
 
+// TestNemesis_FlappingLinksDeltaGossip pins the delta-gossip stabilization
+// plane under lossy tree edges: with suppression, Active-bit adaptive cadence
+// and a deep (64×ΔG) backoff cap, the run's drain — a probe write that must
+// become universally stable — is exactly the UST-convergence assertion. The
+// counters additionally prove the delta plane (not the static baseline) was
+// what converged: pushes flowed AND quiescent pushes were suppressed.
+func TestNemesis_FlappingLinksDeltaGossip(t *testing.T) {
+	res := runScenario(t, "flapping_links_delta_gossip", paris.ModeNonBlocking)
+	if res.GossipSent == 0 {
+		t.Errorf("no dedicated gossip pushes sent — stabilization plane never ran")
+	}
+	if res.GossipSuppressed == 0 {
+		t.Errorf("no pushes suppressed — delta gossip was not engaged, so this run did not exercise it")
+	}
+	t.Logf("gossip: sent=%d suppressed=%d", res.GossipSent, res.GossipSuppressed)
+}
+
 // TestNemesis_SlowLinkDegradation pins the flow-control scenario: a
 // bandwidth-constrained WAN link under a byte-budgeted replication plane.
 // Beyond the usual drain + zero-violation bar it asserts the flow-control
@@ -99,9 +116,22 @@ func TestNemesis_SlowLinkDegradation(t *testing.T) {
 	if res.FlowMaxQueuedBytes == 0 {
 		t.Errorf("no bytes ever queued — flow control was not active")
 	}
-	t.Logf("flow: maxQueued=%dB degraded=%d/%d shed=%d coalesced=%d throttled=%v",
+	// Shed windows are caught up by the chunked repair path; every served
+	// frame must respect the scenario's byte budget up to one unsplittable
+	// same-commit-timestamp group (LargeValues: 10 writes of ≤8KiB values,
+	// plus per-write key/header overhead).
+	if res.RepairChunksServed == 0 {
+		t.Errorf("no repair chunks served — shed windows were never repaired through the chunked path")
+	}
+	maxGroup := uint64(10 * (1024 + 7168 + 64))
+	if res.RepairChunkMaxBytes > SlowLinkBatchMax+maxGroup {
+		t.Errorf("repair chunk reached %dB, above the %dB budget + %dB one-group slack",
+			res.RepairChunkMaxBytes, uint64(SlowLinkBatchMax), maxGroup)
+	}
+	t.Logf("flow: maxQueued=%dB degraded=%d/%d shed=%d coalesced=%d throttled=%v repairChunks=%d max=%dB",
 		res.FlowMaxQueuedBytes, res.FlowDegradedEntries, res.FlowDegradedExits,
-		res.FlowShedRounds, res.FlowCoalesced, res.FlowThrottledFor)
+		res.FlowShedRounds, res.FlowCoalesced, res.FlowThrottledFor,
+		res.RepairChunksServed, res.RepairChunkMaxBytes)
 }
 
 // TestNemesis_CrashRestartBPR runs the crash/restart composition against the

@@ -205,6 +205,46 @@ var scenarios = []Scenario{
 		},
 	},
 	{
+		Name: "flapping_links_delta_gossip",
+		Info: "directed link errors flapping across the stabilization tree with short DC isolations; the adaptive delta-gossip plane must suppress while quiescent yet still converge the UST after healing",
+		Mix:  workload.Variable,
+		Configure: func(cfg *paris.Config) {
+			// Deep adaptive backoff (64×ΔG, double the default cap): the
+			// drain can only pass if a backed-off, suppressing gossip plane
+			// snaps back to the fast cadence when the probe write lands.
+			cfg.GossipIdleMax = 64 * time.Millisecond
+		},
+		Script: func(e *Env) {
+			numDCs := e.Topo.NumDCs()
+			for {
+				// Two directed faults plus a short DC isolation: gossip
+				// pushes (GSTUp/GSTRoot/USTDown) vanish on random tree edges
+				// while suppression epochs keep advancing, so recovery must
+				// come from re-pushes and piggybacked ReplicateBatch/
+				// ReplStatus stabilization, not from a lucky lossless push.
+				x, y := e.RandServer(), e.RandServer()
+				for y == x {
+					y = e.RandServer()
+				}
+				dc := paris.DCID(e.Rng.Intn(numDCs))
+				e.Cluster.Net().SetLinkFault(x, y, transport.FaultError)
+				e.Cluster.Net().SetLinkFault(y, x, transport.FaultError)
+				e.Cluster.Net().IsolateDC(dc, true, numDCs)
+				e.Logf("flap %v<->%v + isolate DC%d", x, y, dc)
+				if !e.Sleep(e.Jitter(50 * time.Millisecond)) {
+					return
+				}
+				e.Cluster.Net().SetLinkFault(x, y, transport.FaultNone)
+				e.Cluster.Net().SetLinkFault(y, x, transport.FaultNone)
+				e.Cluster.Net().IsolateDC(dc, false, numDCs)
+				e.Logf("heal %v<->%v + DC%d", x, y, dc)
+				if !e.Sleep(e.Jitter(40 * time.Millisecond)) {
+					return
+				}
+			}
+		},
+	},
+	{
 		Name: "slow_link_degradation",
 		Info: "a bandwidth-constrained WAN link under a byte-budgeted replication plane: senders coalesce, degrade, shed, and repair after healing",
 		Mix:  workload.LargeValues,

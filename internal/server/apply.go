@@ -92,6 +92,8 @@ func (s *Server) applyTick() {
 		}
 		clear(items)
 		s.applyItems = items[:0]
+		// Data activity: snap the stabilization plane to its fast cadence.
+		s.stab.markData()
 	}
 	s.vv[s.self.DC].advance(ub)
 	s.drainVisibility()
@@ -106,17 +108,21 @@ func (s *Server) applyTick() {
 		// heartbeat coalesce into (usually) one ReplicateBatch per
 		// destination — one wire write per peer per ΔR instead of one per
 		// commit timestamp.
-		chunks := buildReplicateBatches(s.self.DC, ready, ub, s.cfg.BatchMaxItems, s.cfg.BatchMaxBytes)
+		chunks, sizes := buildReplicateBatches(s.self.DC, ready, ub, s.cfg.BatchMaxItems, s.cfg.BatchMaxBytes)
 		if s.flow != nil {
 			// Flow-controlled path: hand the round to each destination's
 			// pump, which owns sequencing, pacing, coalescing and repair
-			// service for that peer (flowpump.go).
+			// service for that peer (flowpump.go). The builder's per-chunk
+			// sizes ride along so the pumps never re-walk the payload.
 			for _, peer := range peers {
 				if p := s.flow.pumps[peer]; p != nil {
-					p.submit(chunks, ub)
+					p.submit(chunks, sizes, ub)
 				}
 			}
 		} else {
+			// Piggyback the current stable values on the round's chunks:
+			// receivers adopt them without waiting for the down-tree gossip.
+			ust, sold := s.ust.Load(), s.sold.Load()
 			out := make([]wire.Message, len(chunks))
 			for _, peer := range peers {
 				// Answer any pending repair request from this peer's DC
@@ -128,6 +134,7 @@ func (s *Server) applyTick() {
 					b := c.(wire.ReplicateBatch)
 					s.replSeq[peer]++
 					b.Epoch, b.Seq = s.replEpoch, s.replSeq[peer]
+					b.UST, b.Sold = ust, sold
 					out[i] = b
 				}
 				_ = s.peer.CastBatch(peer, out)
@@ -184,7 +191,13 @@ func (s *Server) replicateUnbatched(ready []committedTx, ub hlc.Timestamp, peers
 // to; a single group larger than both caps still travels whole. The final
 // chunk doubles as the round's heartbeat: with nothing to replicate the
 // result is one empty batch carrying only UpTo = ub.
-func buildReplicateBatches(src topology.DCID, ready []committedTx, ub hlc.Timestamp, maxItems, maxBytes int) []wire.Message {
+//
+// The second return value carries each chunk's wire.ApproxSize, accumulated
+// while the groups are built: the builder walks every key/value anyway, so
+// the flow pumps can account queue depth and token-bucket charges without a
+// second full-payload walk per destination (replBatchBaseSize + the group
+// sums reproduce ApproxSize exactly; batchsize_test.go pins the equality).
+func buildReplicateBatches(src topology.DCID, ready []committedTx, ub hlc.Timestamp, maxItems, maxBytes int) ([]wire.Message, []int) {
 	if maxItems <= 0 {
 		maxItems = defaultBatchMaxItems
 	}
@@ -193,6 +206,7 @@ func buildReplicateBatches(src topology.DCID, ready []committedTx, ub hlc.Timest
 	}
 	var (
 		chunks       []wire.Message
+		sizes        []int
 		cur          = wire.ReplicateBatch{SrcDC: src}
 		items, bytes int
 	)
@@ -205,7 +219,8 @@ func buildReplicateBatches(src topology.DCID, ready []committedTx, ub hlc.Timest
 			CT:   ready[start].ct,
 			Txns: make([]wire.TxUpdates, 0, end-start),
 		}
-		gItems, gBytes := 0, 0
+		gItems := 0
+		gBytes := replGroupHeadSize
 		for _, c := range ready[start:end] {
 			group.Txns = append(group.Txns, wire.TxUpdates{
 				TxID:   c.id,
@@ -213,14 +228,16 @@ func buildReplicateBatches(src topology.DCID, ready []committedTx, ub hlc.Timest
 				Writes: c.writes,
 			})
 			gItems += len(c.writes)
+			gBytes += replTxnHeadSize
 			for _, kv := range c.writes {
-				// Key/value bytes plus the codec's fixed per-item framing.
-				gBytes += len(kv.Key) + len(kv.Value) + 8
+				// Key/value bytes plus the codec's per-write framing.
+				gBytes += len(kv.Key) + len(kv.Value) + replWriteHeadSize
 			}
 		}
 		if len(cur.Groups) > 0 && (items+gItems > maxItems || bytes+gBytes > maxBytes) {
 			cur.UpTo = cur.Groups[len(cur.Groups)-1].CT
 			chunks = append(chunks, cur)
+			sizes = append(sizes, emptyBatchSize+bytes)
 			cur = wire.ReplicateBatch{SrcDC: src}
 			items, bytes = 0, 0
 		}
@@ -230,8 +247,17 @@ func buildReplicateBatches(src topology.DCID, ready []committedTx, ub hlc.Timest
 		start = end
 	}
 	cur.UpTo = ub
-	return append(chunks, cur)
+	return append(chunks, cur), append(sizes, emptyBatchSize+bytes)
 }
+
+// Per-level framing constants of wire.ApproxSize's ReplicateBatch walk, so
+// the builder's running byte count reproduces the estimate exactly (the base
+// is emptyBatchSize in flowpump.go).
+const (
+	replGroupHeadSize = 16 + 4    // CT, txn count
+	replTxnHeadSize   = 8 + 4 + 4 // TxID, SrcDC, write count
+	replWriteHeadSize = 4 + 4     // key/value length prefixes
+)
 
 // applyTx writes one committed transaction's updates into the store
 // (Alg. 4 update()) and samples them for visibility tracking.
@@ -274,6 +300,13 @@ func (s *Server) handleReplicate(m wire.Replicate) {
 // tail of the round. Applying before advancing preserves the invariant that
 // a reader who observes the vector entry finds every covered version.
 func (s *Server) handleReplicateBatch(m wire.ReplicateBatch) {
+	// Piggybacked stabilization: adopt the sender's published stable values
+	// before the sequencing check — a nonzero UST was certified by a
+	// complete root round somewhere, so it is safe to adopt regardless of
+	// this particular chunk's fate, and applyStable is monotonic.
+	if m.UST != 0 {
+		s.applyStable(m.UST, m.Sold)
+	}
 	// Sequenced delivery: an out-of-order chunk is evidence of loss (or a
 	// sender restart) and must not advance the version vector — see
 	// replsync.go. replInAccept drops it and arranges a store-backed repair.
@@ -281,6 +314,8 @@ func (s *Server) handleReplicateBatch(m wire.ReplicateBatch) {
 		return
 	}
 	if n := m.Items(); n > 0 {
+		// Data activity: snap the stabilization plane to its fast cadence.
+		s.stab.markData()
 		items := make([]wire.Item, 0, n)
 		for _, g := range m.Groups {
 			for _, tx := range g.Txns {

@@ -80,7 +80,7 @@ func TestBuildReplicateBatchesCoalescesOneRound(t *testing.T) {
 		mkCommitted(2, 10, 1), // same CT: same group
 		mkCommitted(3, 11, 1),
 	}
-	chunks := buildReplicateBatches(0, ready, 50, 1024, 1<<20)
+	chunks, _ := buildReplicateBatches(0, ready, 50, 1024, 1<<20)
 	if len(chunks) != 1 {
 		t.Fatalf("got %d chunks, want 1", len(chunks))
 	}
@@ -94,7 +94,7 @@ func TestBuildReplicateBatchesCoalescesOneRound(t *testing.T) {
 }
 
 func TestBuildReplicateBatchesEmptyRoundIsHeartbeat(t *testing.T) {
-	chunks := buildReplicateBatches(2, nil, 99, 1024, 1<<20)
+	chunks, _ := buildReplicateBatches(2, nil, 99, 1024, 1<<20)
 	if len(chunks) != 1 {
 		t.Fatalf("got %d chunks, want 1", len(chunks))
 	}
@@ -110,7 +110,7 @@ func TestBuildReplicateBatchesSplitsAtGroupBoundaries(t *testing.T) {
 		mkCommitted(2, 11, 3),
 		mkCommitted(3, 12, 3),
 	}
-	chunks := buildReplicateBatches(0, ready, 50, 4, 1<<20)
+	chunks, _ := buildReplicateBatches(0, ready, 50, 4, 1<<20)
 	if len(chunks) != 3 {
 		t.Fatalf("got %d chunks, want 3 (maxItems=4, 3 items/group)", len(chunks))
 	}
@@ -135,7 +135,7 @@ func TestBuildReplicateBatchesOversizedGroupTravelsWhole(t *testing.T) {
 		mkCommitted(1, 10, 100), // single group far above maxItems
 		mkCommitted(2, 11, 1),
 	}
-	chunks := buildReplicateBatches(0, ready, 50, 8, 1<<20)
+	chunks, _ := buildReplicateBatches(0, ready, 50, 8, 1<<20)
 	if len(chunks) != 2 {
 		t.Fatalf("got %d chunks, want 2", len(chunks))
 	}
@@ -155,7 +155,7 @@ func TestBuildReplicateBatchesByteCap(t *testing.T) {
 		mkCommitted(2, 11, 1),
 	}
 	// Each write is ~10 encoded bytes; a 1-byte cap forces one group per chunk.
-	chunks := buildReplicateBatches(0, ready, 50, 1024, 1)
+	chunks, _ := buildReplicateBatches(0, ready, 50, 1024, 1)
 	if len(chunks) != 2 {
 		t.Fatalf("got %d chunks, want 2", len(chunks))
 	}

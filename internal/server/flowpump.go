@@ -202,8 +202,11 @@ func (f *flowControl) stats() []FlowDestStats {
 
 // submit hands one ΔR round's chunks to the pump. Called from the applyTick
 // goroutine; chunks are shared across destinations and must not be mutated
-// in place.
-func (p *flowPump) submit(chunks []wire.Message, ub hlc.Timestamp) {
+// in place. sizes, when non-nil, carries each chunk's wire.ApproxSize as
+// accumulated by buildReplicateBatches — the builder walks every key/value
+// anyway, so the pumps skip the per-destination re-walk of the payload; a
+// nil sizes (tests, hand-built chunks) falls back to computing it here.
+func (p *flowPump) submit(chunks []wire.Message, sizes []int, ub hlc.Timestamp) {
 	p.mu.Lock()
 	p.latestUB = ub
 	if p.degraded && p.queuedBytes <= p.low {
@@ -224,9 +227,14 @@ func (p *flowPump) submit(chunks []wire.Message, ub hlc.Timestamp) {
 		p.mu.Unlock()
 		return
 	}
-	for _, c := range chunks {
+	for i, c := range chunks {
 		b := c.(wire.ReplicateBatch)
-		size := wire.ApproxSize(b)
+		var size int
+		if sizes != nil {
+			size = sizes[i]
+		} else {
+			size = wire.ApproxSize(b)
+		}
 		if p.queuedBytes+size > p.high {
 			// Admission check before enqueue: the queue-byte bound is a
 			// hard invariant, so the round that would cross it is the first
@@ -341,13 +349,30 @@ func (p *flowPump) run() {
 		// and the status is the minimal control signal (~40 bytes).
 		p.mu.Lock()
 		deg, ub, qb := p.degraded, p.latestUB, p.queuedBytes
+		// The sequence the first post-backlog fresh chunk will carry: queued
+		// entries each consume one, and every pending burn (queued or not yet
+		// materialized) consumes one more. Naming it lets the receiver
+		// pre-request the repair during the shed window instead of
+		// discovering the gap only when the sender resumes.
+		next := p.seq + 1 + uint64(len(p.entries))
+		for _, e := range p.entries {
+			if e.burn {
+				next++
+			}
+		}
+		if p.holePending {
+			next++
+		}
 		p.mu.Unlock()
 		if deg && time.Since(lastStatus) >= p.statusEvery() {
 			lastStatus = time.Now()
 			_ = s.peer.Cast(p.dest, wire.ReplStatus{
 				SrcDC:       s.self.DC,
 				Epoch:       s.replEpoch,
+				NextSeq:     next,
 				UpTo:        ub,
+				UST:         s.ust.Load(),
+				Sold:        s.sold.Load(),
 				QueuedBytes: uint64(qb),
 			})
 			p.mu.Lock()
@@ -378,17 +403,21 @@ func (p *flowPump) step() bool {
 		}
 		nextSeq := p.seq + 1
 		p.mu.Unlock()
-		resp := wire.ReplSyncResp{
-			SrcDC:   p.s.self.DC,
-			Epoch:   p.s.replEpoch,
-			NextSeq: nextSeq,
-			UpTo:    upTo,
-			Items:   p.s.store.VersionsIn(from, upTo),
+		// Serve the repair as budget-bounded chunks, cast back-to-back with
+		// no fresh-batch interleave: on the FIFO link they slot sequentially
+		// into the stream (every chunk names the same resume position; the
+		// receiver's cursor latch is idempotent) and no single frame exceeds
+		// the replication chunk budget, so a degraded link is never hit with
+		// one giant catch-up frame that would re-congest it.
+		chunks := p.s.buildRepairChunks(p.s.store.VersionsIn(from, upTo), nextSeq, upTo)
+		for _, resp := range chunks {
+			size := wire.ApproxSize(resp)
+			p.s.metrics.noteRepairChunk(size)
+			if !p.pace(size) {
+				return false
+			}
+			_ = p.s.peer.Cast(p.dest, resp)
 		}
-		if !p.pace(wire.ApproxSize(resp)) {
-			return false
-		}
-		_ = p.s.peer.Cast(p.dest, resp)
 		p.s.metrics.replSyncServed.Add(1)
 		return true
 	}
@@ -410,6 +439,11 @@ func (p *flowPump) step() bool {
 	p.seq++
 	e.batch.Epoch = p.s.replEpoch
 	e.batch.Seq = p.seq
+	// Piggyback the freshest stable values at send time: the receiver adopts
+	// them without waiting for the down-tree gossip, which lets the
+	// dedicated stabilization plane back off on links that flow anyway.
+	e.batch.UST = p.s.ust.Load()
+	e.batch.Sold = p.s.sold.Load()
 	p.mu.Unlock()
 
 	if !p.pace(e.bytes) {
@@ -432,11 +466,20 @@ func (p *flowPump) step() bool {
 
 // handleReplStatus is the receiver side of the degraded-mode summary:
 // observe the sender's clock (coupling only — UpTo certifies nothing, the
-// data below it was never delivered) and count it. The version vector is
-// deliberately NOT advanced.
+// data below it was never delivered), adopt the piggybacked stable values
+// (safe: a published UST was certified by a complete root round and is a
+// lower bound on what this receiver has installed), and pre-request the
+// repair the summary's NextSeq reveals. The version vector is deliberately
+// NOT advanced.
 func (s *Server) handleReplStatus(m wire.ReplStatus) {
 	s.clock.Observe(m.UpTo)
+	if m.UST != 0 {
+		s.applyStable(m.UST, m.Sold)
+	}
 	s.metrics.replStatusRecv.Add(1)
+	if m.NextSeq != 0 {
+		s.replPreRequest(m)
+	}
 }
 
 // SetFlowBudget reconfigures every destination's bandwidth budget at

@@ -110,9 +110,9 @@ func testPump(high, low int) *flowPump {
 // second round folds into the queue tail instead of growing the queue.
 func TestFlowPumpSubmitCoalescesUnderPressure(t *testing.T) {
 	p := testPump(1<<20, 1<<18)
-	p.submit([]wire.Message{flowChunk(1, 2, 32)}, hlc.New(19, 0))
-	p.submit([]wire.Message{flowChunk(2, 2, 32)}, hlc.New(29, 0))
-	p.submit([]wire.Message{flowChunk(3, 2, 32)}, hlc.New(39, 0))
+	p.submit([]wire.Message{flowChunk(1, 2, 32)}, nil, hlc.New(19, 0))
+	p.submit([]wire.Message{flowChunk(2, 2, 32)}, nil, hlc.New(29, 0))
+	p.submit([]wire.Message{flowChunk(3, 2, 32)}, nil, hlc.New(39, 0))
 	if len(p.entries) != 1 {
 		t.Fatalf("queue grew to %d entries, want 1 coalesced", len(p.entries))
 	}
@@ -132,13 +132,13 @@ func TestFlowPumpShedsPastHighWater(t *testing.T) {
 	p := testPump(one*2+10, 1) // room for two chunks, low water below one
 	p.capMax = 1               // disable coalescing so every round is its own entry
 
-	p.submit([]wire.Message{flowChunk(1, 1, 256)}, hlc.New(19, 0))
-	p.submit([]wire.Message{flowChunk(2, 1, 256)}, hlc.New(29, 0))
+	p.submit([]wire.Message{flowChunk(1, 1, 256)}, nil, hlc.New(19, 0))
+	p.submit([]wire.Message{flowChunk(2, 1, 256)}, nil, hlc.New(29, 0))
 	if p.degraded {
 		t.Fatal("degraded before crossing high water")
 	}
-	p.submit([]wire.Message{flowChunk(3, 1, 256)}, hlc.New(39, 0)) // crosses: shed
-	p.submit([]wire.Message{flowChunk(4, 1, 256)}, hlc.New(49, 0)) // degraded: shed
+	p.submit([]wire.Message{flowChunk(3, 1, 256)}, nil, hlc.New(39, 0)) // crosses: shed
+	p.submit([]wire.Message{flowChunk(4, 1, 256)}, nil, hlc.New(49, 0)) // degraded: shed
 	if !p.degraded {
 		t.Fatal("not degraded after crossing high water")
 	}
@@ -159,7 +159,7 @@ func TestFlowPumpShedsPastHighWater(t *testing.T) {
 	p.entries = nil
 	p.queuedBytes = 0
 	p.mu.Unlock()
-	p.submit([]wire.Message{flowChunk(5, 1, 256)}, hlc.New(59, 0))
+	p.submit([]wire.Message{flowChunk(5, 1, 256)}, nil, hlc.New(59, 0))
 	if p.degraded {
 		t.Fatal("still degraded after draining below low water")
 	}

@@ -43,6 +43,17 @@ type Metrics struct {
 	flowStatusSent      atomic.Uint64
 	replStatusRecv      atomic.Uint64
 
+	// Stabilization plane (stability.go).
+	gossipSent       atomic.Uint64
+	gossipSuppressed atomic.Uint64
+
+	// Chunked repair serving (replsync.go / flowpump.go).
+	repairChunks   atomic.Uint64
+	repairChunkMax atomic.Uint64 // bytes; high-water mark, not monotone-add
+
+	// Prepare-pump handoff (prepbatch.go).
+	prepPumpWakeups atomic.Uint64
+
 	blockMu    sync.Mutex
 	blockCount uint64
 	blockFree  uint64
@@ -59,6 +70,19 @@ func (m *Metrics) observeBlocking(waited time.Duration) {
 		m.blockFree++
 	}
 	m.blockMu.Unlock()
+}
+
+// noteRepairChunk tallies one served ReplSyncResp chunk and keeps the
+// high-water mark of single-chunk size — the observable the chunk-budget
+// bound is asserted against.
+func (m *Metrics) noteRepairChunk(size int) {
+	m.repairChunks.Add(1)
+	for {
+		cur := m.repairChunkMax.Load()
+		if uint64(size) <= cur || m.repairChunkMax.CompareAndSwap(cur, uint64(size)) {
+			return
+		}
+	}
 }
 
 // MetricsSnapshot is a point-in-time copy of a server's counters.
@@ -102,6 +126,14 @@ type MetricsSnapshot struct {
 	FlowDegradedExits   uint64        // destinations resuming below the low-water mark
 	FlowStatusSent      uint64        // ReplStatus summaries cast (sender role)
 	ReplStatusReceived  uint64        // ReplStatus summaries received
+
+	GossipSent       uint64 // dedicated stabilization messages cast (GSTUp/GSTRoot/USTDown)
+	GossipSuppressed uint64 // gossip pushes skipped (unchanged content, quiescent)
+
+	RepairChunksServed  uint64 // ReplSyncResp chunks cast (sender role)
+	RepairChunkMaxBytes uint64 // largest single ReplSyncResp chunk (approx encoded size)
+
+	PrepPumpWakeups uint64 // prepare-pump goroutine wakeups (drain-all handoff)
 }
 
 // Metrics returns a snapshot of the server's counters.
@@ -149,5 +181,13 @@ func (s *Server) Metrics() MetricsSnapshot {
 		FlowDegradedExits:   s.metrics.flowDegradedExits.Load(),
 		FlowStatusSent:      s.metrics.flowStatusSent.Load(),
 		ReplStatusReceived:  s.metrics.replStatusRecv.Load(),
+
+		GossipSent:       s.metrics.gossipSent.Load(),
+		GossipSuppressed: s.metrics.gossipSuppressed.Load(),
+
+		RepairChunksServed:  s.metrics.repairChunks.Load(),
+		RepairChunkMaxBytes: s.metrics.repairChunkMax.Load(),
+
+		PrepPumpWakeups: s.metrics.prepPumpWakeups.Load(),
 	}
 }

@@ -98,8 +98,8 @@ func (b *prepareBatcher) call(node topology.NodeID, req wire.PrepareReq) (wire.M
 // entries. Without the explicit drain, a pendingPrepare sitting in a
 // destination queue when the server stops would depend on its caller
 // selecting on s.stopped to ever be released — deterministically failing the
-// queue keeps no waiter's fate implicit. Entries a pump already popped into
-// an in-flight batch are answered by that batch's send as usual.
+// queue keeps no waiter's fate implicit. Entries a pump already drained for
+// sending are answered by their batch's send as usual.
 func (b *prepareBatcher) shutdown() {
 	b.mu.Lock()
 	b.stopping = true
@@ -114,9 +114,13 @@ func (b *prepareBatcher) shutdown() {
 	}
 }
 
-// pump drains one destination's queue, one batch call at a time, and exits
-// when the queue runs dry. Everything queued while a call is in flight forms
-// the next batch (capped at PrepareBatchMax; the remainder waits its turn).
+// pump drains one destination's queue and exits when it runs dry. Each turn
+// takes the *entire* queue in one lock handoff and slices it into
+// PrepareBatchMax-sized wire calls locally — the pump used to re-acquire the
+// shared batcher mutex once per send, so a loaded coordinator paid a
+// lock-handoff (and its cache-line bounce against every concurrently queueing
+// caller) per batch rather than per drain. prepPumpWakeups counts the
+// handoffs; BenchmarkPrepareBatcher reports them per op.
 func (b *prepareBatcher) pump(node topology.NodeID, d *prepareDest) {
 	s := b.s
 	max := s.cfg.PrepareBatchMax
@@ -127,15 +131,18 @@ func (b *prepareBatcher) pump(node topology.NodeID, d *prepareDest) {
 			b.mu.Unlock()
 			return
 		}
-		batch := d.queue
-		if len(batch) > max {
-			batch = batch[:max]
-			d.queue = d.queue[max:]
-		} else {
-			d.queue = nil
-		}
+		work := d.queue
+		d.queue = nil
 		b.mu.Unlock()
-		b.send(node, batch)
+		s.metrics.prepPumpWakeups.Add(1)
+		for len(work) > 0 {
+			batch := work
+			if len(batch) > max {
+				batch = batch[:max]
+			}
+			work = work[len(batch):]
+			b.send(node, batch)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -91,32 +92,69 @@ func (s *Server) replInAccept(m wire.ReplicateBatch) bool {
 		st.mu.Unlock()
 		return true
 	}
+	sendReq := s.repairPacingLocked(st)
+	st.mu.Unlock()
+	if sendReq {
+		s.castRepairReq(m.SrcDC)
+	}
+	return false
+}
+
+// repairPacingLocked arms or advances a stream's repair-request pacing state
+// and reports whether a request should fire now: the next retry is scheduled
+// at backoff/2 + uniform(0, backoff) from now, then the backoff doubles up
+// to the cap. Caller holds st.mu. Shared by the chunk-mismatch path
+// (replInAccept) and the status pre-request path (replPreRequest), so the
+// two can never amplify each other into a request storm.
+func (s *Server) repairPacingLocked(st *replInStream) bool {
 	now := time.Now()
 	if !st.syncing {
 		st.syncing = true
 		st.backoff = s.replSyncRetry
 		st.nextReq = now // first request fires immediately
 	}
-	sendReq := !now.Before(st.nextReq)
-	if sendReq {
-		// Schedule the next retry at backoff/2 + uniform(0, backoff) from
-		// now, then double the backoff up to the cap.
-		st.nextReq = now.Add(st.backoff/2 + time.Duration(rand.Int63n(int64(st.backoff))))
-		if st.backoff < replSyncBackoffCap {
-			st.backoff *= 2
-		}
+	if now.Before(st.nextReq) {
+		return false
 	}
+	st.nextReq = now.Add(st.backoff/2 + time.Duration(rand.Int63n(int64(st.backoff))))
+	if st.backoff < replSyncBackoffCap {
+		st.backoff *= 2
+	}
+	return true
+}
+
+// castRepairReq casts a ReplSyncReq toward srcDC's replica of this partition
+// with this receiver's true watermark.
+func (s *Server) castRepairReq(srcDC topology.DCID) {
+	var from hlc.Timestamp
+	if int(srcDC) < len(s.vv) {
+		from = s.vv[srcDC].Load()
+	}
+	s.metrics.replSyncReq.Add(1)
+	_ = s.peer.Cast(topology.ServerID(srcDC, s.self.Partition()),
+		wire.ReplSyncReq{ReqDC: s.self.DC, FromTS: from})
+}
+
+// replPreRequest reacts to a degraded sender's ReplStatus summary: the
+// summary names the sequence number the sender's next fresh chunk will carry
+// (NextSeq), so a receiver whose cursor is behind it — inevitable after a
+// shed window — can request the store-backed repair while the link is still
+// quiet, instead of discovering the gap only when the first post-resume
+// chunk arrives and is dropped.
+func (s *Server) replPreRequest(m wire.ReplStatus) {
+	if int(m.SrcDC) >= len(s.replIn) {
+		return
+	}
+	st := &s.replIn[m.SrcDC]
+	st.mu.Lock()
+	// Only a latched stream can be known-behind; a fresh cursor latches onto
+	// the stream's first chunk instead of repairing from zero.
+	behind := st.epoch != 0 && (m.Epoch != st.epoch || m.NextSeq > st.nextSeq)
+	sendReq := behind && s.repairPacingLocked(st)
 	st.mu.Unlock()
 	if sendReq {
-		var from hlc.Timestamp
-		if int(m.SrcDC) < len(s.vv) {
-			from = s.vv[m.SrcDC].Load()
-		}
-		s.metrics.replSyncReq.Add(1)
-		_ = s.peer.Cast(topology.ServerID(m.SrcDC, s.self.Partition()),
-			wire.ReplSyncReq{ReqDC: s.self.DC, FromTS: from})
+		s.castRepairReq(m.SrcDC)
 	}
-	return false
 }
 
 // handleReplSyncReq records a peer's repair request; the next apply round
@@ -153,16 +191,62 @@ func (s *Server) maybeReplSync(peer topology.NodeID, ub hlc.Timestamp) {
 	if !ok {
 		return
 	}
-	resp := wire.ReplSyncResp{
-		SrcDC:   s.self.DC,
-		Epoch:   s.replEpoch,
-		NextSeq: s.replSeq[peer] + 1,
-		UpTo:    ub,
-		Items:   s.store.VersionsIn(fromTS, ub),
+	for _, resp := range s.buildRepairChunks(s.store.VersionsIn(fromTS, ub), s.replSeq[peer]+1, ub) {
+		s.metrics.noteRepairChunk(wire.ApproxSize(resp))
+		_ = s.peer.Cast(peer, resp)
 	}
-	_ = s.peer.Cast(peer, resp)
 	s.metrics.replSyncServed.Add(1)
 }
+
+// buildRepairChunks slices a store-backed repair range into ReplSyncResp
+// chunks bounded by the replication batch budget (Config.BatchMaxItems /
+// BatchMaxBytes), so a catch-up after a long shed window never hits the —
+// typically still constrained — link as one giant frame. The store returns
+// versions in map-iteration order, so the items are first sorted by update
+// time; chunks then split only between distinct update timestamps, which
+// makes each interior chunk's UpTo (its last item's UT) a bound the receiver
+// may safely publish after applying the chunk: everything at or below it is
+// in this or an earlier chunk. The final chunk carries UpTo = ub, covering
+// the idle tail. Every chunk names the same resume position (epoch,
+// nextSeq); the receiver's cursor latch is idempotent, so the chunks slot
+// sequentially into the stream in FIFO order.
+func (s *Server) buildRepairChunks(items []wire.Item, nextSeq uint64, ub hlc.Timestamp) []wire.ReplSyncResp {
+	sort.Slice(items, func(i, j int) bool { return items[i].UT < items[j].UT })
+	maxItems := s.cfg.BatchMaxItems
+	if maxItems <= 0 {
+		maxItems = defaultBatchMaxItems
+	}
+	maxBytes := s.cfg.BatchMaxBytes
+	if maxBytes <= 0 {
+		maxBytes = defaultBatchMaxBytes
+	}
+	newChunk := func() wire.ReplSyncResp {
+		return wire.ReplSyncResp{SrcDC: s.self.DC, Epoch: s.replEpoch, NextSeq: nextSeq}
+	}
+	var chunks []wire.ReplSyncResp
+	cur := newChunk()
+	bytes := 0
+	for i, it := range items {
+		itBytes := len(it.Key) + len(it.Value) + repairItemHeadSize
+		// Split between UT groups only: a chunk may close here iff the next
+		// item's timestamp is strictly above the last included one.
+		if len(cur.Items) > 0 && it.UT != items[i-1].UT &&
+			(len(cur.Items)+1 > maxItems || bytes+itBytes > maxBytes) {
+			cur.UpTo = items[i-1].UT
+			chunks = append(chunks, cur)
+			cur = newChunk()
+			bytes = 0
+		}
+		cur.Items = append(cur.Items, it)
+		bytes += itBytes
+	}
+	cur.UpTo = ub
+	return append(chunks, cur)
+}
+
+// repairItemHeadSize is wire.ApproxSize's per-item framing for ReplSyncResp
+// (length prefixes, UT, TxID, SrcDC).
+const repairItemHeadSize = 4 + 4 + 16 + 8 + 4
 
 // handleReplSyncResp installs a repair: apply the missing versions, thaw
 // the stream at the sender-designated position, and only then republish the
@@ -174,6 +258,8 @@ func (s *Server) handleReplSyncResp(m wire.ReplSyncResp) {
 	if len(m.Items) > 0 {
 		s.store.ApplyBatchConcurrent(m.Items, s.cfg.ApplyWorkers)
 		s.metrics.replItems.Add(uint64(len(m.Items)))
+		// Data activity: snap the stabilization plane to its fast cadence.
+		s.stab.markData()
 	}
 	st := &s.replIn[m.SrcDC]
 	st.mu.Lock()

@@ -120,6 +120,16 @@ type Config struct {
 	GossipInterval time.Duration
 	// USTInterval is ΔU: the cadence at which roots compute and push the UST.
 	USTInterval time.Duration
+	// GossipIdleMax caps the adaptive stabilization backoff: with no data
+	// activity the gossip/UST cadence doubles from GossipInterval up to this
+	// bound and snaps back to GossipInterval on the next write (or Active
+	// gossip). 0 selects 32×GossipInterval; a value at or below
+	// GossipInterval pins the cadence (no backoff).
+	GossipIdleMax time.Duration
+	// GossipStatic restores the fixed-cadence, full-push stabilization plane
+	// (every ΔG pushes unconditionally, no Active bits, no idle backoff).
+	// Kept for apples-to-apples measurement against the delta gossip plane.
+	GossipStatic bool
 	// GCInterval is the cadence of version-chain garbage collection;
 	// 0 disables GC.
 	GCInterval time.Duration
@@ -179,6 +189,7 @@ const (
 	defaultApplyInterval   = 5 * time.Millisecond
 	defaultGossipInterval  = 5 * time.Millisecond
 	defaultUSTInterval     = 5 * time.Millisecond
+	defaultGossipIdleMult  = 32
 	defaultTxContextTTL    = 30 * time.Second
 	defaultCallTimeout     = 60 * time.Second
 	defaultBatchMaxItems   = 1024
@@ -247,6 +258,12 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.USTInterval <= 0 {
 		cfg.USTInterval = defaultUSTInterval
+	}
+	if cfg.GossipIdleMax == 0 {
+		cfg.GossipIdleMax = defaultGossipIdleMult * cfg.GossipInterval
+	}
+	if cfg.GossipIdleMax < cfg.GossipInterval {
+		cfg.GossipIdleMax = cfg.GossipInterval
 	}
 	if cfg.TxContextTTL <= 0 {
 		cfg.TxContextTTL = defaultTxContextTTL
@@ -490,9 +507,16 @@ func (s *Server) Start() {
 			s.flow.start()
 		}
 		s.runLoop(s.cfg.ApplyInterval, s.applyTick)
-		s.runLoop(s.cfg.GossipInterval, s.stab.gossipTick)
-		if s.stab.isRoot {
-			s.runLoop(s.cfg.USTInterval, s.stab.ustTick)
+		if s.cfg.GossipStatic {
+			s.runLoop(s.cfg.GossipInterval, s.stab.gossipTick)
+			if s.stab.isRoot {
+				s.runLoop(s.cfg.USTInterval, s.stab.ustTick)
+			}
+		} else {
+			s.runAdaptiveLoop(s.cfg.GossipInterval, s.cfg.GossipIdleMax, s.stab.gossipWake, s.stab.gossipTick)
+			if s.stab.isRoot {
+				s.runAdaptiveLoop(s.cfg.USTInterval, s.cfg.GossipIdleMax, s.stab.ustWake, s.stab.ustTick)
+			}
 		}
 		if s.cfg.GCInterval > 0 {
 			s.runLoop(s.cfg.GCInterval, s.gcTick)
@@ -541,6 +565,51 @@ func (s *Server) runLoop(interval time.Duration, tick func()) {
 				return
 			case <-t.C:
 				tick()
+			}
+		}
+	}()
+}
+
+// runAdaptiveLoop starts a self-timed background loop for the stabilization
+// plane: it ticks at the base cadence while the stabilizer reports recent
+// data activity and exponentially backs off toward idleMax when quiescent. A
+// wake (stabilizer.markData) snaps the cadence back to base and, if the loop
+// was backed off, fires an immediate tick so the quiescent→active transition
+// does not pay the backed-off wait.
+func (s *Server) runAdaptiveLoop(base, idleMax time.Duration, wake chan struct{}, tick func()) {
+	s.loopWG.Add(1)
+	go func() {
+		defer s.loopWG.Done()
+		interval := base
+		t := time.NewTimer(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stopped:
+				return
+			case <-wake:
+				if interval == base {
+					// Already fast; let the pending timer tick on schedule so
+					// a flood of wakes cannot amplify the gossip rate.
+					continue
+				}
+				interval = base
+				if !t.Stop() {
+					<-t.C
+				}
+				tick()
+				t.Reset(interval)
+			case <-t.C:
+				tick()
+				if s.stab.activeNow() {
+					interval = base
+				} else if interval < idleMax {
+					interval *= 2
+					if interval > idleMax {
+						interval = idleMax
+					}
+				}
+				t.Reset(interval)
 			}
 		}
 	}()

@@ -2,6 +2,8 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/paris-kv/paris/internal/hlc"
 	"github.com/paris-kv/paris/internal/topology"
@@ -18,6 +20,40 @@ import (
 //
 // The same tree aggregates the oldest active transaction snapshot, which
 // becomes the garbage-collection watermark Sold (§IV-B "Garbage collection").
+//
+// Delta/adaptive gossip. A fixed ΔG cadence burns CPU and link bandwidth
+// proportional to cluster size even when nothing is being written — the
+// stabilization plane was the dominant idle cost. Three changes collapse it:
+//
+//   - pushes carry a per-sender Epoch that bumps only when the pushed
+//     content changed, and a push whose content is unchanged while the
+//     sender is quiescent is suppressed entirely;
+//   - every gossip message carries an Active bit. A server that applied or
+//     received data marks itself active (markData) for activeWindowMult×ΔG,
+//     and the bit cascades through Up/Root/Down messages, so one write
+//     anywhere snaps the whole system back to the fast cadence within about
+//     one round-trip of tree traversals. Crucially the *advertised* bit
+//     flows acyclically — a node's outgoing GSTUp/GSTRoot bit derives only
+//     from its own data and its own subtree's bits, and the USTDown bit
+//     never feeds back into up-tree advertisements. A received bit always
+//     snaps the receiver's cadence, but a bit that also re-armed the
+//     receiver's advertisement would echo around the Up/Down/Root cycles
+//     forever and the cluster would never quiesce;
+//   - the gossip and UST loops are self-timed: while quiescent the interval
+//     doubles from ΔG up to Config.GossipIdleMax, and a markData wake resets
+//     it to ΔG immediately (server.go runAdaptiveLoop).
+//
+// UST/Sold advancement additionally piggybacks on replication traffic
+// (ReplicateBatch and ReplStatus carry the sender's current values), so on
+// links that already flow with data the dedicated down-tree gossip is pure
+// redundancy and the idle backoff costs no visibility latency there.
+// Config.GossipStatic restores the fixed-cadence full-push plane.
+
+// activeWindowMult is how many ΔG a server counts as data-active after the
+// last observed write activity. Long enough to span a full up-root-down
+// stabilization round with margin, short enough that a quiescent cluster
+// starts backing off within a few tens of milliseconds at the default ΔG.
+const activeWindowMult = 16
 
 // stabilizer holds the per-server stabilization state. It is embedded in
 // Server and shares its lifecycle; its own mutex guards only gossip state so
@@ -34,6 +70,33 @@ type stabilizer struct {
 	remoteRoots  []topology.NodeID
 	numDCs       int
 
+	// Activity clocks (unix-nano instants). Each tracks one *source* of
+	// activity separately so advertisements stay acyclic: lastData is local
+	// data (applies, data-bearing replication receives); lastSubtree is an
+	// Active bit received from one of this node's children (GSTUp);
+	// lastRemote is an Active bit from a remote DC root (GSTRoot, roots
+	// only); lastRelay is an Active bit from the parent direction (USTDown).
+	// All four snap the adaptive cadence; only data+subtree are re-advertised
+	// up-tree, and only data+subtree+remote are advertised down-tree.
+	lastData    atomic.Int64
+	lastSubtree atomic.Int64
+	lastRemote  atomic.Int64
+	lastRelay   atomic.Int64
+	gossipWake  chan struct{}
+	ustWake     chan struct{}
+
+	// Delta-push state, touched only by the gossip/UST loop goroutines (and
+	// direct-call tests): the last content pushed toward the parent or the
+	// remote roots, and the epoch stamped on it.
+	epoch      uint64
+	lastVec    []hlc.Timestamp
+	lastOldest hlc.Timestamp
+	havePush   bool
+	// Down-push state (roots only): the last USTDown actually broadcast.
+	lastUST  hlc.Timestamp
+	lastSold hlc.Timestamp
+	haveDown bool
+
 	mu           sync.Mutex
 	childVec     map[topology.NodeID][]hlc.Timestamp
 	childOldest  map[topology.NodeID]hlc.Timestamp
@@ -45,6 +108,8 @@ type stabilizer struct {
 func (st *stabilizer) init(s *Server) {
 	st.srv = s
 	st.numDCs = s.cfg.Topology.NumDCs()
+	st.gossipWake = make(chan struct{}, 1)
+	st.ustWake = make(chan struct{}, 1)
 	st.childVec = make(map[topology.NodeID][]hlc.Timestamp)
 	st.childOldest = make(map[topology.NodeID]hlc.Timestamp)
 	st.remoteVec = make(map[topology.DCID][]hlc.Timestamp)
@@ -109,13 +174,80 @@ func (st *stabilizer) localContribution() ([]hlc.Timestamp, hlc.Timestamp) {
 	return vec, oldest
 }
 
+// noteActivity stamps one activity clock and wakes the adaptive loops so the
+// stabilization cadence snaps back to ΔG.
+func (st *stabilizer) noteActivity(slot *atomic.Int64) {
+	//lint:ignore paris/ctxdeadline gossip-cadence activity window on the local clock; never exchanged with peers, no protocol decision depends on it
+	slot.Store(time.Now().UnixNano())
+	select {
+	case st.gossipWake <- struct{}{}:
+	default:
+	}
+	if st.isRoot {
+		select {
+		case st.ustWake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// markData records local data activity (an apply or a data-bearing
+// replication receive).
+func (st *stabilizer) markData() { st.noteActivity(&st.lastData) }
+
+// fresh reports whether an activity clock moved within the last
+// activeWindowMult gossip intervals.
+func (st *stabilizer) fresh(slot *atomic.Int64) bool {
+	last := slot.Load()
+	if last == 0 {
+		return false
+	}
+	//lint:ignore paris/ctxdeadline gossip-cadence activity window on the local clock; never exchanged with peers, no protocol decision depends on it
+	return time.Now().UnixNano()-last < int64(activeWindowMult*st.srv.cfg.GossipInterval)
+}
+
+// upActive is the bit advertised up-tree (GSTUp) and root-to-root (GSTRoot):
+// this node or its subtree recently saw data. Received Down/Root bits are
+// deliberately excluded — including them would close an advertisement cycle.
+func (st *stabilizer) upActive() bool {
+	return st.fresh(&st.lastData) || st.fresh(&st.lastSubtree)
+}
+
+// downActive is the bit advertised down-tree (USTDown): any DC recently saw
+// data. It terminates at the leaves (handleDown only snaps cadence).
+func (st *stabilizer) downActive() bool {
+	return st.upActive() || st.fresh(&st.lastRemote)
+}
+
+// activeNow reports whether any activity — local, subtree, remote, or
+// relayed — was observed within the window. It drives the adaptive cadence
+// and push suppression, never an advertised bit.
+func (st *stabilizer) activeNow() bool {
+	return st.downActive() || st.fresh(&st.lastRelay)
+}
+
 // gossipTick runs every ΔG on every server: aggregate the subtree and push
 // toward the root; the root additionally broadcasts its DC aggregate to the
-// other DC roots.
+// other DC roots. In delta mode an unchanged aggregate on a quiescent server
+// is not pushed at all — the parent (or remote root) already holds it.
 func (st *stabilizer) gossipTick() {
 	vec, oldest := st.aggregateSubtree()
+	static := st.srv.cfg.GossipStatic
+	active := !static && st.upActive()
+	changed := !st.havePush || oldest != st.lastOldest || !tsSliceEqual(vec, st.lastVec)
+	if !static && !changed && !st.activeNow() {
+		st.srv.metrics.gossipSuppressed.Add(1)
+		return
+	}
+	if changed {
+		st.epoch++
+		st.lastVec = append(st.lastVec[:0], vec...)
+		st.lastOldest = oldest
+		st.havePush = true
+	}
 	if st.hasParent {
-		_ = st.srv.peer.Cast(st.parent, wire.GSTUp{Vec: vec, Oldest: oldest})
+		_ = st.srv.peer.Cast(st.parent, wire.GSTUp{Epoch: st.epoch, Active: active, Vec: vec, Oldest: oldest})
+		st.srv.metrics.gossipSent.Add(1)
 		return
 	}
 	// Root: remember the DC aggregate and share it with the other roots.
@@ -123,10 +255,24 @@ func (st *stabilizer) gossipTick() {
 	st.remoteVec[st.srv.self.DC] = vec
 	st.remoteOldest[st.srv.self.DC] = oldest
 	st.mu.Unlock()
-	msg := wire.GSTRoot{DC: st.srv.self.DC, Vec: vec, Oldest: oldest}
+	msg := wire.GSTRoot{DC: st.srv.self.DC, Epoch: st.epoch, Active: active, Vec: vec, Oldest: oldest}
 	for _, root := range st.remoteRoots {
 		_ = st.srv.peer.Cast(root, msg)
+		st.srv.metrics.gossipSent.Add(1)
 	}
+}
+
+// tsSliceEqual reports element-wise equality of two timestamp vectors.
+func tsSliceEqual(a, b []hlc.Timestamp) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // aggregateSubtree folds the node's own contribution with the last-known
@@ -158,7 +304,9 @@ func (st *stabilizer) aggregateSubtree() ([]hlc.Timestamp, hlc.Timestamp) {
 	return vec, oldest
 }
 
-// handleUp stores a child's subtree aggregate.
+// handleUp stores a child's subtree aggregate. Pushes are always stored
+// regardless of epoch — the epoch is the sender's change marker, not an
+// acceptance filter, so a receiver restart can never wedge the stream.
 func (st *stabilizer) handleUp(from topology.NodeID, m wire.GSTUp) {
 	if len(m.Vec) != st.numDCs {
 		return // malformed; ignore
@@ -167,6 +315,9 @@ func (st *stabilizer) handleUp(from topology.NodeID, m wire.GSTUp) {
 	st.childVec[from] = m.Vec
 	st.childOldest[from] = m.Oldest
 	st.mu.Unlock()
+	if m.Active {
+		st.noteActivity(&st.lastSubtree)
+	}
 }
 
 // handleRoot stores a remote DC root's aggregate (GSV exchange).
@@ -178,6 +329,9 @@ func (st *stabilizer) handleRoot(m wire.GSTRoot) {
 	st.remoteVec[m.DC] = m.Vec
 	st.remoteOldest[m.DC] = m.Oldest
 	st.mu.Unlock()
+	if m.Active {
+		st.noteActivity(&st.lastRemote)
+	}
 }
 
 // ustTick runs every ΔU on roots only (Alg. 4 lines 36–38): the UST is the
@@ -210,18 +364,35 @@ func (st *stabilizer) ustTick() {
 		return
 	}
 	st.srv.applyStable(minGST, oldest)
-	st.pushDown(wire.USTDown{UST: minGST, Sold: oldest})
+	static := st.srv.cfg.GossipStatic
+	active := !static && st.downActive()
+	if !static && !st.activeNow() && st.haveDown && minGST == st.lastUST && oldest == st.lastSold {
+		// Nothing moved and nothing is flowing: the subtree already holds
+		// these exact values.
+		st.srv.metrics.gossipSuppressed.Add(1)
+		return
+	}
+	st.lastUST, st.lastSold, st.haveDown = minGST, oldest, true
+	st.pushDown(wire.USTDown{UST: minGST, Sold: oldest, Active: active})
 }
 
-// handleDown applies a UST/Sold announcement and forwards it down the tree.
+// handleDown applies a UST/Sold announcement and forwards it down the tree
+// unconditionally — suppression is a sender-side decision only, so a
+// forwarded announcement always reaches the leaves.
 func (st *stabilizer) handleDown(m wire.USTDown) {
 	st.srv.applyStable(m.UST, m.Sold)
+	if m.Active {
+		// Cadence-only: a relayed Down bit must never re-arm this node's
+		// own up-tree advertisement, or the bit would circulate forever.
+		st.noteActivity(&st.lastRelay)
+	}
 	st.pushDown(m)
 }
 
 func (st *stabilizer) pushDown(m wire.USTDown) {
 	for _, child := range st.children {
 		_ = st.srv.peer.Cast(child, m)
+		st.srv.metrics.gossipSent.Add(1)
 	}
 }
 

@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/paris-kv/paris/internal/hlc"
+	"github.com/paris-kv/paris/internal/topology"
+	"github.com/paris-kv/paris/internal/wire"
+)
+
+// startTCPNodeOpts is startTCPNode with explicit TCPOptions.
+func startTCPNodeOpts(t *testing.T, self topology.NodeID, handler RequestHandler, book StaticBook, opts TCPOptions) (*Peer, *TCPNode) {
+	t.Helper()
+	p := NewPeer(self, handler)
+	node, err := ListenTCPOpts(self, "127.0.0.1:0", book, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	p.Attach(node)
+	return p, node
+}
+
+// TestTCPCodecNegotiationUpgrades pins the happy path: two v2-capable nodes
+// exchange hellos as the first frame of each connection direction, so by the
+// time a request/response round completes (FIFO behind the hellos), both
+// sides have negotiated v2 for each other.
+func TestTCPCodecNegotiationUpgrades(t *testing.T) {
+	book := StaticBook{}
+	_, nodeBB := startTCPNode(t, nodeB, &echoHandler{}, book)
+	book[nodeB] = nodeBB.ListenAddr()
+	pA, nodeAA := startTCPNode(t, nodeA, nopHandler{}, book)
+	book[nodeA] = nodeAA.ListenAddr()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := pA.Call(ctx, nodeB, wire.StartTxReq{ClientUST: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if v := nodeAA.versionFor(nodeB); v != wire.V2 {
+		t.Fatalf("dialer negotiated v%d with acceptor, want v2", v)
+	}
+	if v := nodeBB.versionFor(nodeA); v != wire.V2 {
+		t.Fatalf("acceptor negotiated v%d with dialer, want v2", v)
+	}
+	// Traffic after the upgrade rides v2 frames and must still arrive.
+	if _, err := pA.Call(ctx, nodeB, wire.StartTxReq{ClientUST: 2}); err != nil {
+		t.Fatalf("post-upgrade call failed: %v", err)
+	}
+}
+
+// TestTCPCodecV1Pin exercises the escape hatch: a node with
+// MaxCodecVersion=1 sends no hello and clamps inbound adverts, so both
+// directions stay on the v1 codec and traffic still flows.
+func TestTCPCodecV1Pin(t *testing.T) {
+	book := StaticBook{}
+	_, nodeBB := startTCPNodeOpts(t, nodeB, &echoHandler{}, book, TCPOptions{MaxCodecVersion: 1})
+	book[nodeB] = nodeBB.ListenAddr()
+	pA, nodeAA := startTCPNode(t, nodeA, nopHandler{}, book)
+	book[nodeA] = nodeAA.ListenAddr()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := pA.Call(ctx, nodeB, wire.StartTxReq{ClientUST: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if v := nodeAA.versionFor(nodeB); v != wire.V1 {
+		t.Fatalf("v2 node negotiated v%d with pinned peer, want v1 (pinned peer never sent a hello)", v)
+	}
+	if v := nodeBB.versionFor(nodeA); v != wire.V1 {
+		t.Fatalf("pinned node negotiated v%d, want v1 (must clamp the peer's v2 advert)", v)
+	}
+	// Both directions of payload traffic stay decodable on v1.
+	if err := pA.Cast(nodeB, wire.Heartbeat{SrcDC: 1, TS: hlc.Timestamp(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pA.Call(ctx, nodeB, wire.StartTxReq{ClientUST: 4}); err != nil {
+		t.Fatalf("post-pin call failed: %v", err)
+	}
+}
+
+// TestTCPCodecNegotiatedBatches drives the SendBatch path across the
+// upgrade: replication batches encoded v2 after negotiation must arrive
+// intact and in order.
+func TestTCPCodecNegotiatedBatches(t *testing.T) {
+	book := StaticBook{}
+	h := &echoHandler{}
+	_, nodeBB := startTCPNode(t, nodeB, h, book)
+	book[nodeB] = nodeBB.ListenAddr()
+	pA, nodeAA := startTCPNode(t, nodeA, nopHandler{}, book)
+	book[nodeA] = nodeAA.ListenAddr()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := pA.Call(ctx, nodeB, wire.StartTxReq{ClientUST: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if v := nodeAA.versionFor(nodeB); v != wire.V2 {
+		t.Fatalf("negotiation did not upgrade: v%d", v)
+	}
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		envs := []Envelope{
+			{To: nodeB, Class: ClassCast, Msg: wire.Heartbeat{SrcDC: 0, TS: hlc.Timestamp(2 * i)}},
+			{To: nodeB, Class: ClassCast, Msg: wire.Heartbeat{SrcDC: 0, TS: hlc.Timestamp(2*i + 1)}},
+		}
+		if err := nodeAA.SendBatch(envs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h.mu.Lock()
+		count := len(h.casts)
+		h.mu.Unlock()
+		if count >= 2*rounds {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d batched casts arrived", count, 2*rounds)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, msg := range h.casts {
+		if ts := msg.(wire.Heartbeat).TS; ts != hlc.Timestamp(i) {
+			t.Fatalf("batched FIFO violated at %d: ts=%d", i, ts)
+		}
+	}
+}

@@ -9,182 +9,249 @@ import (
 	"github.com/paris-kv/paris/internal/topology"
 )
 
-// The codec is a hand-rolled little-endian binary format (the paper uses
-// protobufs; any self-describing framing preserves behaviour and the stdlib
-// constraint rules protobuf out). Layout: one Kind byte followed by the
-// message body. Strings and byte slices are length-prefixed with uint32;
-// slice counts likewise.
+// The codec is a hand-rolled binary format (the paper uses protobufs; any
+// self-describing framing preserves behaviour and the stdlib constraint
+// rules protobuf out). Layout: one Kind byte followed by the message body.
+// Two body formats exist, selected out of band (the TCP transport tags each
+// frame with the version its peer negotiated; everything else speaks v1):
+//
+//   - V1: little-endian fixed-width scalars; strings, byte slices and slice
+//     counts carry uint32 length prefixes.
+//   - V2: lengths, counts and small scalars are unsigned varints;
+//     hlc.Timestamps and TxIDs are delta chains — the first occurrence in a
+//     message is a fixed 8-byte value, every later one a zigzag varint of
+//     the difference from the previous one of the same type. Commit
+//     timestamps inside a batch are dense and ascending, and TxIDs from one
+//     coordinator differ only in their low sequence bits, so the chains
+//     collapse both to one or two bytes each.
+//
+// Both versions share one encoder type switch and one decoder kind switch;
+// the version lives in the writer/reader state, so a message kind cannot be
+// encodable in one version and not the other (the wiresync analyzer checks
+// the shared switches).
+
+// Version selects a codec body format. The zero value is not a valid
+// version; V1 is the implicit default everywhere a version is not
+// negotiated.
+type Version uint8
+
+const (
+	// V1 is the original fixed-width little-endian format.
+	V1 Version = 1
+	// V2 is the compact varint/delta format.
+	V2 Version = 2
+	// MaxVersion is the newest format this build speaks.
+	MaxVersion = V2
+)
 
 // ErrTruncated reports a message shorter than its declared contents.
 var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrMalformed reports a structurally invalid message: a varint that
+// overflows its field, or a version this build does not speak.
+var ErrMalformed = errors.New("wire: malformed message")
 
 // maxSliceLen bounds decoded slice lengths to keep a corrupt or malicious
 // length prefix from allocating unbounded memory.
 const maxSliceLen = 1 << 26 // 64 Mi elements / bytes
 
-// Encode serializes msg (kind byte + body) into a fresh buffer.
+// Encode serializes msg (kind byte + v1 body) into a fresh buffer.
 func Encode(msg Message) []byte {
-	return AppendMessage(nil, msg)
+	return AppendMessageV(nil, msg, V1)
 }
 
-// AppendMessage appends the encoding of msg to buf and returns the result.
+// EncodeV serializes msg with the given codec version into a fresh buffer.
+func EncodeV(msg Message, v Version) []byte {
+	return AppendMessageV(nil, msg, v)
+}
+
+// AppendMessage appends the v1 encoding of msg to buf and returns the
+// result.
 func AppendMessage(buf []byte, msg Message) []byte {
-	buf = append(buf, byte(msg.Kind()))
+	return AppendMessageV(buf, msg, V1)
+}
+
+// AppendMessageV appends the encoding of msg in codec version v to buf and
+// returns the result. It is single-pass: the message is walked exactly once,
+// appending as it goes — there is no size pre-computation step.
+func AppendMessageV(buf []byte, msg Message, v Version) []byte {
+	e := enc{buf: buf, v2: v >= V2}
+	e.buf = append(e.buf, byte(msg.Kind()))
 	switch m := msg.(type) {
 	case StartTxReq:
-		buf = putTS(buf, m.ClientUST)
+		e.ts(m.ClientUST)
 	case StartTxResp:
-		buf = putU64(buf, uint64(m.TxID))
-		buf = putTS(buf, m.Snapshot)
+		e.id(m.TxID)
+		e.ts(m.Snapshot)
 	case ReadReq:
-		buf = putU64(buf, uint64(m.TxID))
-		buf = putStrings(buf, m.Keys)
+		e.id(m.TxID)
+		e.strings(m.Keys)
 	case ReadResp:
-		buf = putItems(buf, m.Items)
+		e.items(m.Items)
 	case CommitReq:
-		buf = putU64(buf, uint64(m.TxID))
-		buf = putTS(buf, m.HWT)
-		buf = putKVs(buf, m.Writes)
+		e.id(m.TxID)
+		e.ts(m.HWT)
+		e.kvs(m.Writes)
 	case CommitResp:
-		buf = putTS(buf, m.CommitTS)
+		e.ts(m.CommitTS)
 	case FinishTx:
-		buf = putU64(buf, uint64(m.TxID))
+		e.id(m.TxID)
 	case ReadSliceReq:
-		buf = putStrings(buf, m.Keys)
-		buf = putTS(buf, m.Snapshot)
+		e.strings(m.Keys)
+		e.ts(m.Snapshot)
 	case ReadSliceResp:
-		buf = putItems(buf, m.Items)
+		e.items(m.Items)
 	case PrepareReq:
-		buf = putU64(buf, uint64(m.TxID))
-		buf = putTS(buf, m.Snapshot)
-		buf = putTS(buf, m.HT)
-		buf = putKVs(buf, m.Writes)
+		e.id(m.TxID)
+		e.ts(m.Snapshot)
+		e.ts(m.HT)
+		e.kvs(m.Writes)
 	case PrepareResp:
-		buf = putU64(buf, uint64(m.TxID))
-		buf = putTS(buf, m.Proposed)
+		e.id(m.TxID)
+		e.ts(m.Proposed)
 	case PrepareBatch:
-		buf = putU32(buf, uint32(len(m.Reqs)))
+		e.count(len(m.Reqs))
 		for _, p := range m.Reqs {
-			buf = putU64(buf, uint64(p.TxID))
-			buf = putTS(buf, p.Snapshot)
-			buf = putTS(buf, p.HT)
-			buf = putKVs(buf, p.Writes)
+			e.id(p.TxID)
+			e.ts(p.Snapshot)
+			e.ts(p.HT)
+			e.kvs(p.Writes)
 		}
 	case PrepareBatchResp:
-		buf = putU32(buf, uint32(len(m.Resps)))
+		e.count(len(m.Resps))
 		for _, r := range m.Resps {
-			buf = putU64(buf, uint64(r.TxID))
-			buf = putTS(buf, r.Proposed)
-			buf = putU16(buf, r.Code)
-			buf = putString(buf, r.Msg)
+			e.id(r.TxID)
+			e.ts(r.Proposed)
+			e.u16(r.Code)
+			e.string(r.Msg)
 		}
 	case CohortCommit:
-		buf = putU64(buf, uint64(m.TxID))
-		buf = putTS(buf, m.CommitTS)
+		e.id(m.TxID)
+		e.ts(m.CommitTS)
 	case CommitRecover:
-		buf = putU64(buf, uint64(m.TxID))
-		buf = putTS(buf, m.CommitTS)
-		buf = putKVs(buf, m.Writes)
+		e.id(m.TxID)
+		e.ts(m.CommitTS)
+		e.kvs(m.Writes)
 	case AbortTx:
-		buf = putU64(buf, uint64(m.TxID))
+		e.id(m.TxID)
 	case TxStatusReq:
-		buf = putU64(buf, uint64(m.TxID))
+		e.id(m.TxID)
 	case TxStatusResp:
-		buf = putU64(buf, uint64(m.TxID))
-		buf = append(buf, byte(m.Status))
-		buf = putTS(buf, m.CommitTS)
+		e.id(m.TxID)
+		e.u8(uint8(m.Status))
+		e.ts(m.CommitTS)
 	case Replicate:
-		buf = putU32(buf, uint32(m.SrcDC))
-		buf = putTS(buf, m.CT)
-		buf = putTxns(buf, m.Txns)
+		e.u32(uint32(m.SrcDC))
+		e.ts(m.CT)
+		e.txns(m.Txns)
 	case ReplicateBatch:
-		buf = putU32(buf, uint32(m.SrcDC))
-		buf = putU64(buf, m.Epoch)
-		buf = putU64(buf, m.Seq)
-		buf = putTS(buf, m.UpTo)
-		buf = putU32(buf, uint32(len(m.Groups)))
+		e.u32(uint32(m.SrcDC))
+		e.u64(m.Epoch)
+		e.u64(m.Seq)
+		e.ts(m.UpTo)
+		e.ts(m.UST)
+		e.ts(m.Sold)
+		e.count(len(m.Groups))
 		for _, g := range m.Groups {
-			buf = putTS(buf, g.CT)
-			buf = putTxns(buf, g.Txns)
+			e.ts(g.CT)
+			e.txns(g.Txns)
 		}
 	case ReplSyncReq:
-		buf = putU32(buf, uint32(m.ReqDC))
-		buf = putTS(buf, m.FromTS)
+		e.u32(uint32(m.ReqDC))
+		e.ts(m.FromTS)
 	case ReplSyncResp:
-		buf = putU32(buf, uint32(m.SrcDC))
-		buf = putU64(buf, m.Epoch)
-		buf = putU64(buf, m.NextSeq)
-		buf = putTS(buf, m.UpTo)
-		buf = putItems(buf, m.Items)
+		e.u32(uint32(m.SrcDC))
+		e.u64(m.Epoch)
+		e.u64(m.NextSeq)
+		e.ts(m.UpTo)
+		e.items(m.Items)
 	case ReplStatus:
-		buf = putU32(buf, uint32(m.SrcDC))
-		buf = putU64(buf, m.Epoch)
-		buf = putTS(buf, m.UpTo)
-		buf = putU64(buf, m.QueuedBytes)
+		e.u32(uint32(m.SrcDC))
+		e.u64(m.Epoch)
+		e.u64(m.NextSeq)
+		e.ts(m.UpTo)
+		e.ts(m.UST)
+		e.ts(m.Sold)
+		e.u64(m.QueuedBytes)
 	case Heartbeat:
-		buf = putU32(buf, uint32(m.SrcDC))
-		buf = putTS(buf, m.TS)
+		e.u32(uint32(m.SrcDC))
+		e.ts(m.TS)
 	case GSTUp:
-		buf = putTSs(buf, m.Vec)
-		buf = putTS(buf, m.Oldest)
+		e.u64(m.Epoch)
+		e.bool(m.Active)
+		e.tss(m.Vec)
+		e.ts(m.Oldest)
 	case GSTRoot:
-		buf = putU32(buf, uint32(m.DC))
-		buf = putTSs(buf, m.Vec)
-		buf = putTS(buf, m.Oldest)
+		e.u32(uint32(m.DC))
+		e.u64(m.Epoch)
+		e.bool(m.Active)
+		e.tss(m.Vec)
+		e.ts(m.Oldest)
 	case USTDown:
-		buf = putTS(buf, m.UST)
-		buf = putTS(buf, m.Sold)
+		e.ts(m.UST)
+		e.ts(m.Sold)
+		e.bool(m.Active)
+	case Hello:
+		e.u8(m.MaxVersion)
 	case ErrorResp:
-		buf = putU16(buf, m.Code)
-		buf = putString(buf, m.Msg)
+		e.u16(m.Code)
+		e.string(m.Msg)
 	default:
 		// Unreachable for the closed Message set; keep the byte stream valid
 		// by encoding an error so a peer fails loudly instead of hanging.
-		buf = buf[:len(buf)-1]
-		buf = append(buf, byte(KindError))
-		buf = putU16(buf, 0)
-		buf = putString(buf, fmt.Sprintf("unencodable message %T", msg))
+		e.buf = e.buf[:len(e.buf)-1]
+		e.buf = append(e.buf, byte(KindError))
+		e.u16(0)
+		e.string(fmt.Sprintf("unencodable message %T", msg))
 	}
-	return buf
+	return e.buf
 }
 
-// Decode parses a message previously produced by Encode/AppendMessage.
+// Decode parses a v1 message previously produced by Encode/AppendMessage.
 func Decode(data []byte) (Message, error) {
+	return DecodeV(data, V1)
+}
+
+// DecodeV parses a message encoded with codec version v.
+func DecodeV(data []byte, v Version) (Message, error) {
+	if v != V1 && v != V2 {
+		return nil, fmt.Errorf("%w: unsupported codec version %d", ErrMalformed, v)
+	}
 	if len(data) == 0 {
 		return nil, ErrTruncated
 	}
-	kind, r := Kind(data[0]), reader{buf: data[1:]}
+	kind, r := Kind(data[0]), reader{buf: data[1:], v2: v == V2}
 	var msg Message
 	switch kind {
 	case KindStartTxReq:
 		msg = StartTxReq{ClientUST: r.ts()}
 	case KindStartTxResp:
-		msg = StartTxResp{TxID: TxID(r.u64()), Snapshot: r.ts()}
+		msg = StartTxResp{TxID: r.id(), Snapshot: r.ts()}
 	case KindReadReq:
-		msg = ReadReq{TxID: TxID(r.u64()), Keys: r.strings()}
+		msg = ReadReq{TxID: r.id(), Keys: r.strings()}
 	case KindReadResp:
 		msg = ReadResp{Items: r.items()}
 	case KindCommitReq:
-		msg = CommitReq{TxID: TxID(r.u64()), HWT: r.ts(), Writes: r.kvs()}
+		msg = CommitReq{TxID: r.id(), HWT: r.ts(), Writes: r.kvs()}
 	case KindCommitResp:
 		msg = CommitResp{CommitTS: r.ts()}
 	case KindFinishTx:
-		msg = FinishTx{TxID: TxID(r.u64())}
+		msg = FinishTx{TxID: r.id()}
 	case KindReadSliceReq:
 		msg = ReadSliceReq{Keys: r.strings(), Snapshot: r.ts()}
 	case KindReadSliceResp:
 		msg = ReadSliceResp{Items: r.items()}
 	case KindPrepareReq:
-		msg = PrepareReq{TxID: TxID(r.u64()), Snapshot: r.ts(), HT: r.ts(), Writes: r.kvs()}
+		msg = PrepareReq{TxID: r.id(), Snapshot: r.ts(), HT: r.ts(), Writes: r.kvs()}
 	case KindPrepareResp:
-		msg = PrepareResp{TxID: TxID(r.u64()), Proposed: r.ts()}
+		msg = PrepareResp{TxID: r.id(), Proposed: r.ts()}
 	case KindPrepareBatch:
 		pb := PrepareBatch{}
 		if n := r.sliceLen(); n > 0 {
 			pb.Reqs = make([]PrepareReq, 0, n)
 			for i := 0; i < n && r.err == nil; i++ {
 				pb.Reqs = append(pb.Reqs, PrepareReq{
-					TxID: TxID(r.u64()), Snapshot: r.ts(), HT: r.ts(), Writes: r.kvs(),
+					TxID: r.id(), Snapshot: r.ts(), HT: r.ts(), Writes: r.kvs(),
 				})
 			}
 		}
@@ -195,25 +262,26 @@ func Decode(data []byte) (Message, error) {
 			pr.Resps = make([]PrepareResult, 0, n)
 			for i := 0; i < n && r.err == nil; i++ {
 				pr.Resps = append(pr.Resps, PrepareResult{
-					TxID: TxID(r.u64()), Proposed: r.ts(), Code: r.u16(), Msg: r.string(),
+					TxID: r.id(), Proposed: r.ts(), Code: r.u16(), Msg: r.string(),
 				})
 			}
 		}
 		msg = pr
 	case KindCohortCommit:
-		msg = CohortCommit{TxID: TxID(r.u64()), CommitTS: r.ts()}
+		msg = CohortCommit{TxID: r.id(), CommitTS: r.ts()}
 	case KindCommitRecover:
-		msg = CommitRecover{TxID: TxID(r.u64()), CommitTS: r.ts(), Writes: r.kvs()}
+		msg = CommitRecover{TxID: r.id(), CommitTS: r.ts(), Writes: r.kvs()}
 	case KindAbortTx:
-		msg = AbortTx{TxID: TxID(r.u64())}
+		msg = AbortTx{TxID: r.id()}
 	case KindTxStatusReq:
-		msg = TxStatusReq{TxID: TxID(r.u64())}
+		msg = TxStatusReq{TxID: r.id()}
 	case KindTxStatusResp:
-		msg = TxStatusResp{TxID: TxID(r.u64()), Status: TxStatus(r.u8()), CommitTS: r.ts()}
+		msg = TxStatusResp{TxID: r.id(), Status: TxStatus(r.u8()), CommitTS: r.ts()}
 	case KindReplicate:
 		msg = Replicate{SrcDC: topology.DCID(r.u32()), CT: r.ts(), Txns: r.txns()}
 	case KindReplicateBatch:
-		rep := ReplicateBatch{SrcDC: topology.DCID(r.u32()), Epoch: r.u64(), Seq: r.u64(), UpTo: r.ts()}
+		rep := ReplicateBatch{SrcDC: topology.DCID(r.u32()), Epoch: r.u64(), Seq: r.u64(),
+			UpTo: r.ts(), UST: r.ts(), Sold: r.ts()}
 		n := r.sliceLen()
 		if n > 0 {
 			rep.Groups = make([]ReplicateGroup, 0, n)
@@ -227,15 +295,18 @@ func Decode(data []byte) (Message, error) {
 	case KindReplSyncResp:
 		msg = ReplSyncResp{SrcDC: topology.DCID(r.u32()), Epoch: r.u64(), NextSeq: r.u64(), UpTo: r.ts(), Items: r.items()}
 	case KindReplStatus:
-		msg = ReplStatus{SrcDC: topology.DCID(r.u32()), Epoch: r.u64(), UpTo: r.ts(), QueuedBytes: r.u64()}
+		msg = ReplStatus{SrcDC: topology.DCID(r.u32()), Epoch: r.u64(), NextSeq: r.u64(),
+			UpTo: r.ts(), UST: r.ts(), Sold: r.ts(), QueuedBytes: r.u64()}
 	case KindHeartbeat:
 		msg = Heartbeat{SrcDC: topology.DCID(r.u32()), TS: r.ts()}
 	case KindGSTUp:
-		msg = GSTUp{Vec: r.tss(), Oldest: r.ts()}
+		msg = GSTUp{Epoch: r.u64(), Active: r.bool(), Vec: r.tss(), Oldest: r.ts()}
 	case KindGSTRoot:
-		msg = GSTRoot{DC: topology.DCID(r.u32()), Vec: r.tss(), Oldest: r.ts()}
+		msg = GSTRoot{DC: topology.DCID(r.u32()), Epoch: r.u64(), Active: r.bool(), Vec: r.tss(), Oldest: r.ts()}
 	case KindUSTDown:
-		msg = USTDown{UST: r.ts(), Sold: r.ts()}
+		msg = USTDown{UST: r.ts(), Sold: r.ts(), Active: r.bool()}
+	case KindHello:
+		msg = Hello{MaxVersion: r.u8()}
 	case KindError:
 		msg = ErrorResp{Code: r.u16(), Msg: r.string()}
 	default:
@@ -250,94 +321,180 @@ func Decode(data []byte) (Message, error) {
 	return msg, nil
 }
 
-// --- encode helpers ---
+// zigzag folds a signed delta into an unsigned varint-friendly value
+// (0, -1, 1, -2, ... → 0, 1, 2, 3, ...).
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
 
-func putU16(buf []byte, v uint16) []byte {
-	return binary.LittleEndian.AppendUint16(buf, v)
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// --- encode side ---
+
+// enc is the versioned writer. Delta chains (prevTS/prevID) reset per
+// message: an enc value encodes exactly one message body.
+type enc struct {
+	buf []byte
+	v2  bool
+
+	hasTS, hasID   bool
+	prevTS, prevID uint64
 }
 
-func putU32(buf []byte, v uint32) []byte {
-	return binary.LittleEndian.AppendUint32(buf, v)
+func (e *enc) u8(v uint8) { e.buf = append(e.buf, v) }
+
+func (e *enc) bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
 }
 
-func putU64(buf []byte, v uint64) []byte {
-	return binary.LittleEndian.AppendUint64(buf, v)
+func (e *enc) u16(v uint16) {
+	if e.v2 {
+		e.buf = binary.AppendUvarint(e.buf, uint64(v))
+		return
+	}
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, v)
 }
 
-func putTS(buf []byte, ts hlc.Timestamp) []byte {
-	return putU64(buf, uint64(ts))
+func (e *enc) u32(v uint32) {
+	if e.v2 {
+		e.buf = binary.AppendUvarint(e.buf, uint64(v))
+		return
+	}
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
 }
 
-func putString(buf []byte, s string) []byte {
-	buf = putU32(buf, uint32(len(s)))
-	return append(buf, s...)
+func (e *enc) u64(v uint64) {
+	if e.v2 {
+		e.buf = binary.AppendUvarint(e.buf, v)
+		return
+	}
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
 }
 
-func putBytes(buf, b []byte) []byte {
-	buf = putU32(buf, uint32(len(b)))
-	return append(buf, b...)
+// ts writes a timestamp: fixed-width in v1; in v2 the first timestamp of the
+// message is fixed 8 bytes and every later one is a zigzag varint delta
+// against the previous timestamp written.
+func (e *enc) ts(t hlc.Timestamp) {
+	if !e.v2 {
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(t))
+		return
+	}
+	if !e.hasTS {
+		e.hasTS, e.prevTS = true, uint64(t)
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(t))
+		return
+	}
+	d := int64(uint64(t) - e.prevTS)
+	e.prevTS = uint64(t)
+	e.buf = binary.AppendUvarint(e.buf, zigzag(d))
 }
 
-func putStrings(buf []byte, ss []string) []byte {
-	buf = putU32(buf, uint32(len(ss)))
+// id writes a TxID the same way ts writes timestamps, on its own chain:
+// consecutive ids from one coordinator differ only in the low sequence
+// bits, so the deltas are tiny.
+func (e *enc) id(v TxID) {
+	if !e.v2 {
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v))
+		return
+	}
+	if !e.hasID {
+		e.hasID, e.prevID = true, uint64(v)
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v))
+		return
+	}
+	d := int64(uint64(v) - e.prevID)
+	e.prevID = uint64(v)
+	e.buf = binary.AppendUvarint(e.buf, zigzag(d))
+}
+
+// count writes a slice length (or string/bytes length) prefix.
+func (e *enc) count(n int) { e.u32(uint32(n)) }
+
+func (e *enc) string(s string) {
+	e.count(len(s))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *enc) bytes(b []byte) {
+	e.count(len(b))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *enc) strings(ss []string) {
+	e.count(len(ss))
 	for _, s := range ss {
-		buf = putString(buf, s)
+		e.string(s)
 	}
-	return buf
 }
 
-func putTSs(buf []byte, tss []hlc.Timestamp) []byte {
-	buf = putU32(buf, uint32(len(tss)))
-	for _, ts := range tss {
-		buf = putTS(buf, ts)
+func (e *enc) tss(tss []hlc.Timestamp) {
+	e.count(len(tss))
+	for _, t := range tss {
+		e.ts(t)
 	}
-	return buf
 }
 
-func putKVs(buf []byte, kvs []KV) []byte {
-	buf = putU32(buf, uint32(len(kvs)))
+func (e *enc) kvs(kvs []KV) {
+	e.count(len(kvs))
 	for _, kv := range kvs {
-		buf = putString(buf, kv.Key)
-		buf = putBytes(buf, kv.Value)
+		e.string(kv.Key)
+		e.bytes(kv.Value)
 	}
-	return buf
 }
 
-func putTxns(buf []byte, txns []TxUpdates) []byte {
-	buf = putU32(buf, uint32(len(txns)))
+func (e *enc) txns(txns []TxUpdates) {
+	e.count(len(txns))
 	for _, tx := range txns {
-		buf = putU64(buf, uint64(tx.TxID))
-		buf = putU32(buf, uint32(tx.SrcDC))
-		buf = putKVs(buf, tx.Writes)
+		e.id(tx.TxID)
+		e.u32(uint32(tx.SrcDC))
+		e.kvs(tx.Writes)
 	}
-	return buf
 }
 
-func putItems(buf []byte, items []Item) []byte {
-	buf = putU32(buf, uint32(len(items)))
+func (e *enc) items(items []Item) {
+	e.count(len(items))
 	for _, it := range items {
-		buf = putString(buf, it.Key)
-		buf = putBytes(buf, it.Value)
-		buf = putTS(buf, it.UT)
-		buf = putU64(buf, uint64(it.TxID))
-		buf = putU32(buf, uint32(it.SrcDC))
+		e.string(it.Key)
+		e.bytes(it.Value)
+		e.ts(it.UT)
+		e.id(it.TxID)
+		e.u32(uint32(it.SrcDC))
 	}
-	return buf
 }
 
-// --- decode helpers ---
+// --- decode side ---
 
 // reader consumes a buffer with sticky error handling: after the first
 // failure every accessor returns zero values and the error survives for the
-// caller to report.
+// caller to report. Byte-slice values are carved out of one lazily allocated
+// arena sized to the remaining buffer, so a payload message costs one value
+// allocation total instead of one per item (strings still allocate
+// individually — Go strings cannot share a mutable backing array).
 type reader struct {
 	buf []byte
 	err error
+	v2  bool
+
+	hasTS, hasID   bool
+	prevTS, prevID uint64
+
+	arena []byte
 }
 
 func (r *reader) fail() {
 	if r.err == nil {
 		r.err = ErrTruncated
+	}
+}
+
+// failMalformed marks a structural error (varint overflow) rather than a
+// short buffer.
+func (r *reader) failMalformed() {
+	if r.err == nil {
+		r.err = ErrMalformed
 	}
 }
 
@@ -351,7 +508,46 @@ func (r *reader) u8() uint8 {
 	return v
 }
 
+func (r *reader) bool() bool { return r.u8() != 0 }
+
+// fix64 reads a fixed-width little-endian u64 in both versions.
+func (r *reader) fix64() uint64 {
+	if r.err != nil || len(r.buf) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v
+}
+
+// uvarint reads an unsigned varint (v2 only).
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		if n == 0 {
+			r.fail() // ran out of bytes mid-varint
+		} else {
+			r.failMalformed() // > 64-bit overflow
+		}
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
 func (r *reader) u16() uint16 {
+	if r.v2 {
+		v := r.uvarint()
+		if v > 1<<16-1 {
+			r.failMalformed()
+			return 0
+		}
+		return uint16(v)
+	}
 	if r.err != nil || len(r.buf) < 2 {
 		r.fail()
 		return 0
@@ -362,6 +558,14 @@ func (r *reader) u16() uint16 {
 }
 
 func (r *reader) u32() uint32 {
+	if r.v2 {
+		v := r.uvarint()
+		if v > 1<<32-1 {
+			r.failMalformed()
+			return 0
+		}
+		return uint32(v)
+	}
 	if r.err != nil || len(r.buf) < 4 {
 		r.fail()
 		return 0
@@ -372,34 +576,86 @@ func (r *reader) u32() uint32 {
 }
 
 func (r *reader) u64() uint64 {
-	if r.err != nil || len(r.buf) < 8 {
-		r.fail()
-		return 0
+	if r.v2 {
+		return r.uvarint()
 	}
-	v := binary.LittleEndian.Uint64(r.buf)
-	r.buf = r.buf[8:]
-	return v
+	return r.fix64()
 }
 
-func (r *reader) ts() hlc.Timestamp { return hlc.Timestamp(r.u64()) }
+// ts reads a timestamp, inverting enc.ts's per-message delta chain in v2.
+func (r *reader) ts() hlc.Timestamp {
+	if !r.v2 {
+		return hlc.Timestamp(r.fix64())
+	}
+	if !r.hasTS {
+		r.hasTS = true
+		r.prevTS = r.fix64()
+		return hlc.Timestamp(r.prevTS)
+	}
+	r.prevTS += uint64(unzigzag(r.uvarint()))
+	return hlc.Timestamp(r.prevTS)
+}
 
-// sliceLen reads a count prefix and validates it against both the sanity cap
-// and the bytes actually remaining (each element needs ≥1 byte).
-func (r *reader) sliceLen() int {
-	n := r.u32()
+// id reads a TxID, inverting enc.id's chain in v2.
+func (r *reader) id() TxID {
+	if !r.v2 {
+		return TxID(r.fix64())
+	}
+	if !r.hasID {
+		r.hasID = true
+		r.prevID = r.fix64()
+		return TxID(r.prevID)
+	}
+	r.prevID += uint64(unzigzag(r.uvarint()))
+	return TxID(r.prevID)
+}
+
+// length reads a string/bytes/slice length prefix with the sanity cap
+// applied.
+func (r *reader) length() int {
+	var n uint64
+	if r.v2 {
+		n = r.uvarint()
+	} else {
+		n = uint64(r.u32())
+	}
 	if r.err != nil {
 		return 0
 	}
-	if n > maxSliceLen || int(n) > len(r.buf) {
-		r.fail()
+	if n > maxSliceLen {
+		r.failMalformed()
 		return 0
 	}
 	return int(n)
 }
 
+// sliceLen reads a count prefix and validates it against the bytes actually
+// remaining (each element needs ≥1 byte).
+func (r *reader) sliceLen() int {
+	n := r.length()
+	if r.err != nil {
+		return 0
+	}
+	if n > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	return n
+}
+
+// minElem is the smallest possible encoding of one slice element whose v1
+// encoding occupies fixed bytes; the preflight length×minElem check rejects
+// absurd counts before allocating.
+func (r *reader) minElem(v1Size int) int {
+	if r.v2 {
+		return 1
+	}
+	return v1Size
+}
+
 func (r *reader) string() string {
-	n := r.u32()
-	if r.err != nil || uint32(len(r.buf)) < n || n > maxSliceLen {
+	n := r.length()
+	if r.err != nil || len(r.buf) < n {
 		r.fail()
 		return ""
 	}
@@ -409,54 +665,54 @@ func (r *reader) string() string {
 }
 
 func (r *reader) bytes() []byte {
-	n := r.u32()
-	if r.err != nil || uint32(len(r.buf)) < n || n > maxSliceLen {
-		r.fail()
-		return nil
-	}
-	var b []byte
-	if n > 0 {
-		b = make([]byte, n)
-		copy(b, r.buf[:n])
-	}
-	r.buf = r.buf[n:]
-	return b
-}
-
-func (r *reader) strings() []string {
-	n := r.u32()
-	if r.err != nil {
-		return nil
-	}
-	// Each string costs at least 4 bytes (its length prefix).
-	if n > maxSliceLen || int(n)*4 > len(r.buf) {
+	n := r.length()
+	if r.err != nil || len(r.buf) < n {
 		r.fail()
 		return nil
 	}
 	if n == 0 {
 		return nil
 	}
+	// All byte values of a message are disjoint subslices of the remaining
+	// buffer, so an arena with the remaining length always fits every later
+	// value too: one allocation per payload message.
+	if r.arena == nil {
+		r.arena = make([]byte, 0, len(r.buf))
+	}
+	start := len(r.arena)
+	r.arena = append(r.arena, r.buf[:n]...)
+	b := r.arena[start : start+n : start+n] // capped: appends must not clobber neighbours
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *reader) strings() []string {
+	n := r.sliceLen()
+	if n == 0 {
+		return nil
+	}
+	if n*r.minElem(4) > len(r.buf) {
+		r.fail()
+		return nil
+	}
 	ss := make([]string, 0, n)
-	for i := uint32(0); i < n && r.err == nil; i++ {
+	for i := 0; i < n && r.err == nil; i++ {
 		ss = append(ss, r.string())
 	}
 	return ss
 }
 
 func (r *reader) tss() []hlc.Timestamp {
-	n := r.u32()
-	if r.err != nil {
-		return nil
-	}
-	if n > maxSliceLen || int(n)*8 > len(r.buf) {
-		r.fail()
-		return nil
-	}
+	n := r.sliceLen()
 	if n == 0 {
 		return nil
 	}
+	if n*r.minElem(8) > len(r.buf) {
+		r.fail()
+		return nil
+	}
 	tss := make([]hlc.Timestamp, 0, n)
-	for i := uint32(0); i < n && r.err == nil; i++ {
+	for i := 0; i < n && r.err == nil; i++ {
 		tss = append(tss, r.ts())
 	}
 	return tss
@@ -482,7 +738,7 @@ func (r *reader) txns() []TxUpdates {
 	txns := make([]TxUpdates, 0, n)
 	for i := 0; i < n && r.err == nil; i++ {
 		txns = append(txns, TxUpdates{
-			TxID:   TxID(r.u64()),
+			TxID:   r.id(),
 			SrcDC:  topology.DCID(r.u32()),
 			Writes: r.kvs(),
 		})
@@ -501,9 +757,23 @@ func (r *reader) items() []Item {
 			Key:   r.string(),
 			Value: r.bytes(),
 			UT:    r.ts(),
-			TxID:  TxID(r.u64()),
+			TxID:  r.id(),
 			SrcDC: topology.DCID(r.u32()),
 		})
 	}
 	return items
+}
+
+// --- fixed-width primitive helpers (v1 layout; used by tests and sizing) ---
+
+func putU16(buf []byte, v uint16) []byte {
+	return binary.LittleEndian.AppendUint16(buf, v)
+}
+
+func putU32(buf []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, v)
+}
+
+func putU64(buf []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, v)
 }

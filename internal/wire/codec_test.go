@@ -47,6 +47,10 @@ func sampleMessages() []Message {
 		CommitRecover{TxID: 6, CommitTS: hlc.New(26, 0), Writes: []KV{{Key: "r", Value: []byte("w")}}},
 		CommitRecover{},
 		ReplSyncReq{ReqDC: 2, FromTS: hlc.New(42, 0)},
+		ReplSyncResp{SrcDC: 1, Epoch: 9, NextSeq: 33, UpTo: hlc.New(43, 0), Items: []Item{
+			{Key: "s", Value: []byte("t"), UT: hlc.New(41, 2), TxID: NewTxID(1, 4, 7), SrcDC: 1},
+		}},
+		ReplSyncResp{},
 		AbortTx{TxID: NewTxID(2, 7, 41)},
 		AbortTx{},
 		TxStatusReq{TxID: NewTxID(1, 3, 17)},
@@ -57,23 +61,27 @@ func sampleMessages() []Message {
 			{TxID: 12, SrcDC: 4},
 		}},
 		Replicate{SrcDC: 0, CT: 0},
-		ReplicateBatch{SrcDC: 3, UpTo: hlc.New(60, 0), Groups: []ReplicateGroup{
-			{CT: hlc.New(31, 0), Txns: []TxUpdates{
-				{TxID: 21, SrcDC: 3, Writes: []KV{{Key: "a", Value: []byte("1")}}},
-				{TxID: 22, SrcDC: 3},
+		ReplicateBatch{SrcDC: 3, Epoch: 2, Seq: 17, UpTo: hlc.New(60, 0),
+			UST: hlc.New(58, 0), Sold: hlc.New(55, 0), Groups: []ReplicateGroup{
+				{CT: hlc.New(31, 0), Txns: []TxUpdates{
+					{TxID: 21, SrcDC: 3, Writes: []KV{{Key: "a", Value: []byte("1")}}},
+					{TxID: 22, SrcDC: 3},
+				}},
+				{CT: hlc.New(32, 0), Txns: []TxUpdates{
+					{TxID: 23, SrcDC: 1, Writes: []KV{{Key: "b"}, {Key: "c", Value: []byte{0}}}},
+				}},
 			}},
-			{CT: hlc.New(32, 0), Txns: []TxUpdates{
-				{TxID: 23, SrcDC: 1, Writes: []KV{{Key: "b"}, {Key: "c", Value: []byte{0}}}},
-			}},
-		}},
 		ReplicateBatch{SrcDC: 0, UpTo: hlc.New(70, 0)},
 		Heartbeat{SrcDC: 2, TS: hlc.New(40, 9)},
-		GSTUp{Vec: []hlc.Timestamp{1, hlc.MaxTimestamp, 3}, Oldest: 2},
+		GSTUp{Epoch: 12, Active: true, Vec: []hlc.Timestamp{1, hlc.MaxTimestamp, 3}, Oldest: 2},
 		GSTUp{},
-		GSTRoot{DC: 1, Vec: []hlc.Timestamp{7, 8}, Oldest: 6},
-		ReplStatus{SrcDC: 2, Epoch: 5, UpTo: hlc.New(44, 1), QueuedBytes: 1 << 20},
+		GSTRoot{DC: 1, Epoch: 4, Active: true, Vec: []hlc.Timestamp{7, 8}, Oldest: 6},
+		ReplStatus{SrcDC: 2, Epoch: 5, NextSeq: 18, UpTo: hlc.New(44, 1),
+			UST: hlc.New(43, 0), Sold: hlc.New(40, 0), QueuedBytes: 1 << 20},
 		ReplStatus{},
-		USTDown{UST: hlc.New(55, 0), Sold: hlc.New(50, 0)},
+		USTDown{UST: hlc.New(55, 0), Sold: hlc.New(50, 0), Active: true},
+		Hello{MaxVersion: uint8(MaxVersion)},
+		Hello{},
 		ErrorResp{Code: CodeShuttingDown, Msg: "stopping"},
 		ErrorResp{},
 	}
@@ -348,7 +356,7 @@ func TestKindStrings(t *testing.T) {
 		KindCommitReq, KindCommitResp, KindFinishTx, KindReadSliceReq,
 		KindReadSliceResp, KindPrepareReq, KindPrepareResp, KindCohortCommit,
 		KindReplicate, KindReplicateBatch, KindHeartbeat, KindGSTUp, KindGSTRoot,
-		KindUSTDown, KindError,
+		KindUSTDown, KindHello, KindError,
 	}
 	seen := make(map[string]bool, len(kinds))
 	for _, k := range kinds {

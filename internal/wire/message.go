@@ -157,6 +157,12 @@ const (
 	// over the high-water mark. It carries no data and the receiver must
 	// not advance its version vector from it.
 	KindReplStatus
+	// KindHello is the per-connection codec negotiation: each side of a TCP
+	// connection advertises the newest codec version it speaks before any
+	// other traffic. A sender uses codec v2 toward a peer only after the
+	// peer's hello arrives; a peer that never says hello gets v1 forever.
+	// The hello itself is always encoded with codec v1.
+	KindHello
 )
 
 // String implements fmt.Stringer.
@@ -190,6 +196,7 @@ func (k Kind) String() string {
 		KindReplSyncReq:      "ReplSyncReq",
 		KindReplSyncResp:     "ReplSyncResp",
 		KindReplStatus:       "ReplStatus",
+		KindHello:            "Hello",
 	}
 	if int(k) < len(names) && names[k] != "" {
 		return names[k]
@@ -417,8 +424,19 @@ type ReplStatus struct {
 	SrcDC topology.DCID
 	// Epoch is the sender's current stream epoch.
 	Epoch uint64
+	// NextSeq is the sequence number the sender will stamp on its next
+	// fresh chunk after it resumes. A receiver whose cursor expects an
+	// earlier seq knows rounds were shed and can pre-request repair while
+	// the sender is still degraded, instead of waiting to observe the gap
+	// after the stream resumes. Zero means "not reported" (older sender).
+	NextSeq uint64
 	// UpTo is the newest round bound the sender has shed for this peer.
 	UpTo hlc.Timestamp
+	// UST and Sold piggyback the sender's universally stable time and GC
+	// watermark on the status cast (see ReplicateBatch.UST); zero means
+	// "no information".
+	UST  hlc.Timestamp
+	Sold hlc.Timestamp
 	// QueuedBytes is the sender's current queue depth for this peer,
 	// exported for observability on the receiving side.
 	QueuedBytes uint64
@@ -533,6 +551,15 @@ type ReplicateBatch struct {
 	Seq    uint64
 	Groups []ReplicateGroup
 	UpTo   hlc.Timestamp
+	// UST and Sold piggyback the sender's universally stable time and GC
+	// watermark on replication traffic that is flowing anyway, so the
+	// dedicated stabilization gossip can back off between vector changes.
+	// Any node may adopt them by monotonic max: a published UST/Sold pair
+	// was certified by a complete root round, so it is a valid lower bound
+	// everywhere. Zero means "no information" (sender predates piggyback
+	// or has not computed a UST yet).
+	UST  hlc.Timestamp
+	Sold hlc.Timestamp
 }
 
 // Kind implements Message.
@@ -563,7 +590,21 @@ func (Heartbeat) Kind() Kind { return KindHeartbeat }
 // Vec[j] is the minimum, over the subtree, of the version-vector entries
 // tracking data center j (hlc.MaxTimestamp where undefined). Oldest is the
 // minimum active-snapshot watermark used for garbage collection.
+//
+// Epoch is the sender's monotone push counter — it bumps once per push whose
+// content differs from the previous push, so a receiver (or a metrics
+// scraper) can tell fresh information from a periodic re-send. Receivers
+// always store the carried vector regardless of Epoch: a restarted sender's
+// epoch resets, and the aggregation itself is safe against duplicates.
+//
+// Active propagates data activity through the stabilization plane: it is set
+// while the sender has recently committed, applied remote data, or heard an
+// Active gossip itself. Receivers snap their adaptive gossip cadence to the
+// fast interval while Active messages arrive, so one busy DC pulls every
+// quiescent DC's contribution loop back to full speed within a round trip.
 type GSTUp struct {
+	Epoch  uint64
+	Active bool
 	Vec    []hlc.Timestamp
 	Oldest hlc.Timestamp
 }
@@ -572,9 +613,11 @@ type GSTUp struct {
 func (GSTUp) Kind() Kind { return KindGSTUp }
 
 // GSTRoot carries one DC root's aggregated vector (its GSV) to the roots of
-// the other data centers.
+// the other data centers. Epoch and Active behave as on GSTUp.
 type GSTRoot struct {
 	DC     topology.DCID
+	Epoch  uint64
+	Active bool
 	Vec    []hlc.Timestamp
 	Oldest hlc.Timestamp
 }
@@ -583,14 +626,29 @@ type GSTRoot struct {
 func (GSTRoot) Kind() Kind { return KindGSTRoot }
 
 // USTDown propagates the universal stable time and the garbage-collection
-// watermark from the DC root down the tree to every partition.
+// watermark from the DC root down the tree to every partition. Active
+// behaves as on GSTUp: a root that has seen recent activity (its own or a
+// remote root's) wakes its whole subtree to the fast gossip cadence.
 type USTDown struct {
-	UST  hlc.Timestamp
-	Sold hlc.Timestamp
+	UST    hlc.Timestamp
+	Sold   hlc.Timestamp
+	Active bool
 }
 
 // Kind implements Message.
 func (USTDown) Kind() Kind { return KindUSTDown }
+
+// Hello advertises the newest codec version the sender speaks on a TCP
+// connection. It is the first frame each side sends after a connection
+// opens, always encoded with codec v1, and is consumed by the transport —
+// it is never delivered to the protocol layer. See internal/transport for
+// the negotiation rule.
+type Hello struct {
+	MaxVersion uint8
+}
+
+// Kind implements Message.
+func (Hello) Kind() Kind { return KindHello }
 
 // ErrorResp reports a request failure (e.g. server shutting down, unknown
 // transaction). Callers convert it into an error.
@@ -662,5 +720,6 @@ var (
 	_ Message = GSTUp{}
 	_ Message = GSTRoot{}
 	_ Message = USTDown{}
+	_ Message = Hello{}
 	_ Message = ErrorResp{}
 )

@@ -13,7 +13,7 @@ const tsSize = 16
 func ApproxSize(msg Message) int {
 	switch m := msg.(type) {
 	case ReplicateBatch:
-		n := 1 + 4 + 8 + 8 + tsSize + 4 // kind, SrcDC, Epoch, Seq, UpTo, group count
+		n := 1 + 4 + 8 + 8 + tsSize*3 + 4 // kind, SrcDC, Epoch, Seq, UpTo/UST/Sold, group count
 		for _, g := range m.Groups {
 			n += tsSize + 4 // CT, txn count
 			for _, tx := range g.Txns {
@@ -61,11 +61,11 @@ func ApproxSize(msg Message) int {
 	case CommitReq:
 		return 1 + 8 + tsSize + 4 + kvsSize(m.Writes)
 	case GSTUp:
-		return 1 + tsSize + 4 + tsSize*len(m.Vec)
+		return 1 + 8 + 1 + tsSize + 4 + tsSize*len(m.Vec)
 	case GSTRoot:
-		return 1 + 4 + tsSize + 4 + tsSize*len(m.Vec)
+		return 1 + 4 + 8 + 1 + tsSize + 4 + tsSize*len(m.Vec)
 	case ReplStatus:
-		return 1 + 4 + 8 + tsSize + 8
+		return 1 + 4 + 8 + 8 + tsSize*3 + 8
 	default:
 		return 64
 	}

@@ -130,6 +130,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			FlowLowWater:     full.FlowLowWater,
 			GossipInterval:   full.GossipInterval,
 			USTInterval:      full.USTInterval,
+			GossipIdleMax:    full.GossipIdleMax,
+			GossipStatic:     full.GossipStatic,
 			GCInterval:       full.GCInterval,
 			TxContextTTL:     full.TxContextTTL,
 			CallTimeout:      full.CallTimeout,
